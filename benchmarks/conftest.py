@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation (Table I,
+the Fig. 2 verification, the Fig. 3 delay segmentation, the ablation sweeps)
+and writes its rendered output under ``benchmarks/output/`` so the numbers
+recorded in EXPERIMENTS.md can be reproduced with a single pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(output_dir):
+    """Write a rendered benchmark artefact and return its path."""
+
+    def _write(name: str, content: str) -> Path:
+        path = output_dir / name
+        path.write_text(content + "\n", encoding="utf-8")
+        return path
+
+    return _write

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Alarm scenarios: timing-testing the empty-reservoir and alarm-clear requirements.
+
+The GPCA safety requirements cover more than the bolus start.  This example
+exercises three further timing requirements on implementation scheme 2:
+
+* REQ2 — the buzzer must sound within 250 ms of the reservoir emptying;
+* REQ3 — the pump motor must stop within 250 ms of the reservoir emptying;
+* REQ4 — the buzzer must be silenced within 300 ms of the caregiver clearing
+  the alarm.
+
+Each scenario requires the pump to be driven into the right state first
+(request a bolus, let the reservoir empty mid-infusion); the scenario builders
+in ``repro.gpca.scenarios`` handle that setup.
+
+Run with:  python examples/alarm_requirements.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MTestAnalyzer, RTestRunner, assess_sufficiency, render_r_report
+from repro.gpca import (
+    alarm_clear_test_case,
+    build_pump_interface,
+    empty_reservoir_alarm_test_case,
+    empty_reservoir_stop_test_case,
+    scheme_factory,
+)
+
+
+def main() -> None:
+    interface = build_pump_interface()
+    scenarios = [
+        empty_reservoir_alarm_test_case(samples=5),
+        empty_reservoir_stop_test_case(samples=5),
+        alarm_clear_test_case(samples=5),
+    ]
+
+    runner = RTestRunner(scheme_factory(2, seed=5))
+    for test_case in scenarios:
+        report = runner.run(test_case)
+        print(render_r_report(report))
+        sufficiency = assess_sufficiency(report)
+        print(
+            f"  sample sufficiency: {sufficiency.samples} samples, "
+            f"violation-rate interval [{sufficiency.interval_low:.2f}, "
+            f"{sufficiency.interval_high:.2f}] at {sufficiency.confidence:.0%} confidence"
+        )
+        if not report.passed:
+            analyzer = MTestAnalyzer(interface, test_case.requirement)
+            m_report = analyzer.analyze_violations(report)
+            print("  " + m_report.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

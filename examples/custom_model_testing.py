@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Bring your own model: timing-testing a user-defined statechart.
+
+This example shows the library being used outside the GPCA case study: a small
+railway level-crossing controller is modelled from scratch, verified, lowered
+to CODE(M), integrated on the simulated platform with a custom four-variable
+interface, and R/M-tested against its own timing requirement ("the barrier
+motor shall start lowering within 150 ms of train detection").
+
+It demonstrates every extension point a downstream user needs:
+
+* building a statechart with the fluent builder;
+* declaring a four-variable interface and device bindings;
+* wiring a custom :class:`PlatformBundle` (devices, environment actions);
+* reusing the implementation schemes and the R/M testing machinery unchanged.
+
+Run with:  python examples/custom_model_testing.py
+"""
+
+from __future__ import annotations
+
+from repro.codegen import generate_code
+from repro.core import (
+    EventSpec,
+    MTestAnalyzer,
+    RTestCase,
+    RTestRunner,
+    Stimulus,
+    TimingRequirement,
+    TraceRecorder,
+    render_layered_summary,
+)
+from repro.core.four_variables import FourVariableInterface
+from repro.integration import (
+    EventInputBinding,
+    InputInterfacing,
+    OutputBinding,
+    OutputInterfacing,
+    PlatformBundle,
+    SingleThreadedConfig,
+    SingleThreadedSystem,
+)
+from repro.model import StatechartBuilder, at, before
+from repro.model.verification import BoundedResponseChecker
+from repro.platform import PatientEnvironment, PumpHardware, RandomSource, Simulator
+from repro.platform.devices.device import EventInputDevice, OutputDevice
+from repro.platform.kernel.random import uniform
+from repro.platform.kernel.time import ms
+
+
+def build_crossing_chart():
+    """A level-crossing controller: detect train -> lower barrier -> raise."""
+    return (
+        StatechartBuilder("level_crossing")
+        .input_events("i-TrainDetected", "i-TrainPassed")
+        .output_variable("o-BarrierMotor", initial=0)
+        .output_variable("o-WarningLights", initial=0)
+        .state("Open", initial=True)
+        .state("Closing")
+        .state("Closed")
+        .transition(
+            "t_detect", "Open", "Closing", event="i-TrainDetected",
+            assign={"o-WarningLights": 1},
+        )
+        .transition(
+            "t_lower", "Closing", "Closed", temporal=before(150),
+            assign={"o-BarrierMotor": 1},
+        )
+        .transition(
+            "t_raise", "Closed", "Open", event="i-TrainPassed",
+            assign={"o-BarrierMotor": 0, "o-WarningLights": 0},
+        )
+        .build()
+    )
+
+
+def barrier_requirement() -> TimingRequirement:
+    return TimingRequirement(
+        requirement_id="XING-1",
+        description="The barrier shall start lowering within 150 ms of train detection.",
+        stimulus=EventSpec.becomes("m-TrainDetected", True),
+        response=EventSpec.becomes_positive("c-BarrierMotor"),
+        deadline_us=ms(150),
+        min_stimulus_separation_us=ms(2000),
+        model_trigger_event="i-TrainDetected",
+        model_response_variable="o-BarrierMotor",
+        model_response_value=1,
+        model_trigger_state="Open",
+    )
+
+
+def build_crossing_platform(seed: int, artifacts) -> PlatformBundle:
+    """A minimal custom platform: a track sensor, a barrier motor, a lamp."""
+    simulator = Simulator()
+    recorder = TraceRecorder(lambda: simulator.now)
+    randomness = RandomSource(seed)
+
+    track_sensor = EventInputDevice(
+        "track_sensor", "m-TrainDetected", simulator, recorder,
+        sampling_period_us=ms(5), conversion_latency=uniform(300, 100),
+        rng=randomness.stream("track_sensor"),
+    )
+    passed_sensor = EventInputDevice(
+        "passed_sensor", "m-TrainPassed", simulator, recorder,
+        sampling_period_us=ms(5), conversion_latency=uniform(300, 100),
+        rng=randomness.stream("passed_sensor"),
+    )
+    barrier_motor = OutputDevice(
+        "barrier_motor", "c-BarrierMotor", simulator, recorder,
+        actuation_latency=uniform(ms(5), ms(2)), rng=randomness.stream("barrier"),
+    )
+    warning_lights = OutputDevice(
+        "warning_lights", "c-WarningLights", simulator, recorder,
+        actuation_latency=uniform(ms(1), 300), rng=randomness.stream("lights"),
+    )
+
+    interface = FourVariableInterface()
+    interface.monitored("m-TrainDetected")
+    interface.monitored("m-TrainPassed")
+    interface.input("i-TrainDetected")
+    interface.input("i-TrainPassed")
+    interface.output("o-BarrierMotor", var_type="int")
+    interface.output("o-WarningLights", var_type="int")
+    interface.controlled("c-BarrierMotor", var_type="int")
+    interface.controlled("c-WarningLights", var_type="int")
+    interface.link_input("m-TrainDetected", "i-TrainDetected")
+    interface.link_input("m-TrainPassed", "i-TrainPassed")
+    interface.link_output("o-BarrierMotor", "c-BarrierMotor")
+    interface.link_output("o-WarningLights", "c-WarningLights")
+
+    input_interfacing = InputInterfacing(
+        [
+            EventInputBinding(track_sensor, "i-TrainDetected"),
+            EventInputBinding(passed_sensor, "i-TrainPassed"),
+        ]
+    )
+    output_interfacing = OutputInterfacing(
+        [
+            OutputBinding("o-BarrierMotor", barrier_motor),
+            OutputBinding("o-WarningLights", warning_lights),
+        ]
+    )
+
+    # Reuse the pump hardware container only for its start() plumbing is not
+    # possible here (different devices), so provide a tiny stand-in with the
+    # same duck-typed surface the integration layer needs.
+    class CrossingHardware:
+        def __init__(self):
+            self.input_devices = [track_sensor, passed_sensor]
+            self.output_devices = [barrier_motor, warning_lights]
+
+        def start(self):
+            for device in self.input_devices:
+                device.start()
+
+    class CrossingEnvironment:
+        """Schedules train arrivals/passages on the simulator."""
+
+        def __init__(self):
+            self.simulator = simulator
+
+        def schedule_train(self, at_us: int) -> None:
+            self.simulator.schedule_at(at_us, lambda: track_sensor.trigger(True))
+
+        def schedule_passage(self, at_us: int) -> None:
+            self.simulator.schedule_at(at_us, lambda: passed_sensor.trigger(True))
+
+    environment = CrossingEnvironment()
+    return PlatformBundle(
+        simulator=simulator,
+        recorder=recorder,
+        hardware=CrossingHardware(),
+        environment=environment,
+        interface=interface,
+        input_interfacing=input_interfacing,
+        output_interfacing=output_interfacing,
+        stimulus_actions={
+            "m-TrainDetected": environment.schedule_train,
+            "m-TrainPassed": environment.schedule_passage,
+        },
+    )
+
+
+def main() -> None:
+    chart = build_crossing_chart()
+    requirement = barrier_requirement()
+
+    verification = BoundedResponseChecker(chart).check(requirement.to_model_requirement())
+    print("model verification:", verification.summary())
+
+    artifacts = generate_code(chart)
+    print("code generation:", artifacts.summary())
+
+    def factory():
+        bundle = build_crossing_platform(seed=3, artifacts=artifacts)
+        return SingleThreadedSystem(bundle, artifacts, SingleThreadedConfig(period_us=ms(20)))
+
+    # Each sample is one train: detection (measured) followed by the train
+    # passing (setup for the next sample, re-opening the crossing).
+    stimuli = []
+    for index in range(6):
+        base = ms(100) + index * ms(3000)
+        stimuli.append(Stimulus(base, "m-TrainDetected"))
+        stimuli.append(Stimulus(base + ms(1500), "m-TrainPassed"))
+    test_case = RTestCase(
+        name="trains", requirement=requirement, stimuli=tuple(stimuli),
+        description="six trains, barrier-lowering latency measured per train",
+    )
+    r_report = RTestRunner(factory).run(test_case)
+    m_report = None
+    if not r_report.passed:
+        analyzer = MTestAnalyzer(factory().interface, requirement)
+        m_report = analyzer.analyze_violations(r_report)
+    print(render_layered_summary(r_report, m_report))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table is the canonical metadata; this file exists
+so that editable installs work on minimal offline environments that lack the
+``wheel`` package (pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

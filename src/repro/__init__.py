@@ -1,0 +1,52 @@
+"""repro — layered timing testing for model-based implementations.
+
+A reproduction of *"A Layered Approach for Testing Timing in the Model-Based
+Implementation"* (Kim, Hwang, Park, Son, Lee — DATE 2014).
+
+The package is organised by layer, mirroring the paper's methodology:
+
+* :mod:`repro.model` — timed statechart modelling, simulation and verification
+  (the Simulink/Stateflow + Design Verifier substitute);
+* :mod:`repro.codegen` — generation of CODE(M) from a statechart (the
+  RealTime Workshop substitute), including traceability and an execution-time
+  model;
+* :mod:`repro.platform` — the simulated target platform: DES kernel,
+  FreeRTOS-like scheduler, sensors/actuators and the physical environment;
+* :mod:`repro.integration` — the three implementation schemes that integrate
+  CODE(M) with the platform;
+* :mod:`repro.core` — the paper's contribution: the four-variable interface,
+  R-testing and M-testing;
+* :mod:`repro.gpca` — the infusion-pump case study;
+* :mod:`repro.baselines` — black-box online testing and functional-conformance
+  baselines from the related work;
+* :mod:`repro.analysis` — statistics, Table I rendering and figure data.
+
+Quickstart::
+
+    from repro.gpca import scheme_factory, bolus_request_test_case
+    from repro.gpca import build_pump_interface, req1_bolus_start
+    from repro.core import RTestRunner, MTestAnalyzer
+
+    test_case = bolus_request_test_case(samples=10)
+    report = RTestRunner(scheme_factory(1)).run(test_case)
+    print(report.summary())
+    if not report.passed:
+        analyzer = MTestAnalyzer(build_pump_interface(), req1_bolus_start())
+        print(analyzer.analyze_violations(report).summary())
+"""
+
+from . import analysis, baselines, codegen, core, gpca, integration, model, platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "baselines",
+    "codegen",
+    "core",
+    "gpca",
+    "integration",
+    "model",
+    "platform",
+]

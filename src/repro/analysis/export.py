@@ -1,0 +1,109 @@
+"""Export of analysis artefacts to Markdown and CSV.
+
+EXPERIMENTS.md and downstream papers want the reproduced Table I and the
+ablation sweeps in document-friendly formats; these helpers render the same
+structured rows the plain-text renderers use as GitHub-flavoured Markdown
+tables and as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence
+
+from .figures import SweepPoint
+from .tables import TableOne
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    lines = ["| " + " | ".join(str(header) for header in headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def table_one_to_markdown(table: TableOne) -> str:
+    """Render Table I as a Markdown table (one row per sample)."""
+    headers: List[str] = ["sample"]
+    for result in table.results:
+        headers.extend(
+            [
+                f"{result.label} — R (ms)",
+                f"{result.label} — In (ms)",
+                f"{result.label} — Code (ms)",
+                f"{result.label} — Out (ms)",
+            ]
+        )
+    rows = []
+    for row in table.rows():
+        cells: List[object] = [row["sample"]]
+        for result in table.results:
+            prefix = f"scheme{result.scheme}"
+            cells.extend(
+                [
+                    row[f"{prefix}_r"],
+                    row[f"{prefix}_input"],
+                    row[f"{prefix}_code"],
+                    row[f"{prefix}_output"],
+                ]
+            )
+        rows.append(cells)
+    summary_lines = []
+    for summary in table.summary_rows():
+        summary_lines.append(
+            f"- **{summary['label']}**: {summary['violations']} violation(s) "
+            f"({summary['timeouts']} MAX) of {summary['samples']} samples; "
+            f"R-testing {'PASS' if summary['passed'] else 'FAIL'}"
+        )
+    return f"### {table.title}\n\n" + _markdown_table(headers, rows) + "\n\n" + "\n".join(summary_lines)
+
+
+def table_one_to_csv(table: TableOne) -> str:
+    """Render the structured Table I rows as CSV."""
+    rows = table.rows()
+    buffer = io.StringIO()
+    if not rows:
+        return ""
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def sweep_to_markdown(points: Sequence[SweepPoint], parameter_name: str) -> str:
+    """Render an ablation sweep as a Markdown table."""
+    headers = [parameter_name, "violation rate", "MAX", "max latency (ms)", "mean latency (ms)"]
+    rows = []
+    for point in sorted(points, key=lambda p: p.parameter):
+        rows.append(
+            [
+                f"{point.parameter:g}",
+                f"{point.violation_rate:.0%}",
+                point.timeout_count,
+                "-" if point.max_latency_ms is None else f"{point.max_latency_ms:.1f}",
+                "-" if point.mean_latency_ms is None else f"{point.mean_latency_ms:.1f}",
+            ]
+        )
+    return _markdown_table(headers, rows)
+
+
+def sweep_to_csv(points: Sequence[SweepPoint], parameter_name: str) -> str:
+    """Render an ablation sweep as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([parameter_name, "violation_rate", "timeouts", "max_latency_ms", "mean_latency_ms"])
+    for point in sorted(points, key=lambda p: p.parameter):
+        writer.writerow(
+            [
+                point.parameter,
+                point.violation_rate,
+                point.timeout_count,
+                point.max_latency_ms,
+                point.mean_latency_ms,
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,151 @@
+"""Rendering of the paper's Table I from R-testing and M-testing results.
+
+Table I of the paper shows, for each of the three implementation schemes, the
+ten measured R-testing delays of the bolus-request scenario (violations in
+red, MAX for time-outs) and the M-testing delay segments of the violating
+samples.  :class:`TableOne` holds the same data and renders it as a plain-text
+table (plus a structured row form the benchmarks and tests consume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.m_testing import MTestReport
+from ..core.r_testing import RTestReport
+from .statistics import Summary
+
+
+def _ms(value_us: Optional[int]) -> str:
+    if value_us is None:
+        return "MAX"
+    return f"{value_us / 1000:.1f}"
+
+
+@dataclass
+class SchemeResult:
+    """R-testing and M-testing outcomes of one implementation scheme."""
+
+    scheme: int
+    label: str
+    r_report: RTestReport
+    m_report: Optional[MTestReport] = None
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.r_report.samples)
+
+    def r_cell(self, sample_index: int) -> str:
+        """The R-testing cell for one sample, rendered as the paper renders it."""
+        for sample in self.r_report.samples:
+            if sample.index == sample_index:
+                marker = "" if sample.passed else " *"
+                return f"{sample.latency_label()}{marker}"
+        return "-"
+
+    def m_cells(self, sample_index: int) -> Dict[str, str]:
+        """The M-testing cells (input/code/output delay) for one sample."""
+        if self.m_report is None:
+            return {"input": "-", "code": "-", "output": "-"}
+        for segment in self.m_report.segments:
+            if segment.sample_index == sample_index:
+                return {
+                    "input": _ms(segment.input_delay_us),
+                    "code": _ms(segment.code_delay_us),
+                    "output": _ms(segment.output_delay_us),
+                }
+        return {"input": "-", "code": "-", "output": "-"}
+
+    def summary_row(self) -> Dict[str, object]:
+        """Aggregate row used by EXPERIMENTS.md and the benchmark output."""
+        latencies = self.r_report.observed_latencies_us
+        summary = Summary.of(latencies)
+        return {
+            "scheme": self.scheme,
+            "label": self.label,
+            "samples": self.sample_count,
+            "violations": self.r_report.violation_count,
+            "timeouts": self.r_report.timeout_count,
+            "passed": self.r_report.passed,
+            "max_latency_ms": None if summary is None else round(summary.maximum / 1000, 1),
+            "mean_latency_ms": None if summary is None else round(summary.mean / 1000, 1),
+            "dominant_segment": None if self.m_report is None else self.m_report.dominant_segment(),
+        }
+
+
+@dataclass
+class TableOne:
+    """The complete Table I: one column group per implementation scheme."""
+
+    results: List[SchemeResult] = field(default_factory=list)
+    title: str = "Measured time-delays for the bolus request scenario in REQ1"
+
+    def add(self, result: SchemeResult) -> None:
+        self.results.append(result)
+
+    @property
+    def sample_count(self) -> int:
+        return max((result.sample_count for result in self.results), default=0)
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        """Structured per-sample rows (used by tests and the bench harness)."""
+        rows: List[Dict[str, object]] = []
+        for sample_index in range(self.sample_count):
+            row: Dict[str, object] = {"sample": sample_index + 1}
+            for result in self.results:
+                prefix = f"scheme{result.scheme}"
+                row[f"{prefix}_r"] = result.r_cell(sample_index)
+                m_cells = result.m_cells(sample_index)
+                row[f"{prefix}_input"] = m_cells["input"]
+                row[f"{prefix}_code"] = m_cells["code"]
+                row[f"{prefix}_output"] = m_cells["output"]
+            rows.append(row)
+        return rows
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        return [result.summary_row() for result in self.results]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Plain-text rendering of the table (one row per test sample).
+
+        Violating R-testing samples are marked with ``*`` (the paper marks
+        them red); ``MAX`` means the c-event was not observed before the
+        time-out.
+        """
+        lines = [f"TABLE I. {self.title}", ""]
+        header_1 = f"{'':>7} |"
+        header_2 = f"{'sample':>7} |"
+        for result in self.results:
+            header_1 += f" {result.label:^47} |"
+            header_2 += (
+                f" {'R (ms)':>9} {'In (ms)':>11} {'Code (ms)':>12} {'Out (ms)':>11} |"
+            )
+        lines.append(header_1)
+        lines.append(header_2)
+        lines.append("-" * len(header_2))
+        for row in self.rows():
+            line = f"{row['sample']:>7} |"
+            for result in self.results:
+                prefix = f"scheme{result.scheme}"
+                line += (
+                    f" {row[f'{prefix}_r']:>9} {row[f'{prefix}_input']:>11} "
+                    f"{row[f'{prefix}_code']:>12} {row[f'{prefix}_output']:>11} |"
+                )
+            lines.append(line)
+        lines.append("-" * len(header_2))
+        for result in self.results:
+            summary = result.summary_row()
+            lines.append(
+                f"  {result.label}: {summary['violations']} violation(s) "
+                f"({summary['timeouts']} MAX) out of {summary['samples']} samples; "
+                f"R-testing {'PASS' if summary['passed'] else 'FAIL'}"
+                + (
+                    f"; dominant delay segment: {summary['dominant_segment']}"
+                    if summary["dominant_segment"]
+                    else ""
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Baselines from the paper's related work: black-box online testing and
+functional (SIL-style) conformance checking."""
+
+from .blackbox_online import BlackBoxOnlineTester, BlackBoxReport, OnlineVerdict
+from .functional_conformance import (
+    ConformanceReport,
+    FunctionalConformanceChecker,
+    FunctionalStep,
+    OutputDifference,
+)
+
+__all__ = [
+    "BlackBoxOnlineTester",
+    "BlackBoxReport",
+    "ConformanceReport",
+    "FunctionalConformanceChecker",
+    "FunctionalStep",
+    "OnlineVerdict",
+    "OutputDifference",
+]

@@ -1,0 +1,142 @@
+"""Baseline: online black-box conformance testing (UPPAAL-Tron style).
+
+The paper compares against online black-box testing of real-time systems from
+UPPAAL models (Larsen, Mikucionis, Nielsen): such a tester observes only the
+physical boundary of the implementation and emits a pass/fail verdict while
+the test runs, but "lacks the ability to measure internal time-delays
+occurring in the implemented system such as input and output delay".
+
+This module implements that baseline so the benchmark harness can demonstrate
+the comparison quantitatively: the black-box tester reaches the same pass/fail
+verdicts as R-testing (it sees the same m/c events) yet yields zero delay
+segments, whereas the layered M-testing attributes every violating sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.four_variables import EventKind, Trace
+from ..core.requirements import TimingRequirement
+from ..core.sut import SutFactory
+from ..core.test_generation import RTestCase
+
+
+@dataclass(frozen=True)
+class OnlineVerdict:
+    """A verdict the online tester emitted during the run."""
+
+    at_us: int
+    stimulus_index: int
+    passed: bool
+    reason: str
+
+
+@dataclass
+class BlackBoxReport:
+    """Outcome of one online black-box test run."""
+
+    sut_name: str
+    test_case: RTestCase
+    verdicts: List[OnlineVerdict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.verdicts) and all(verdict.passed for verdict in self.verdicts)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(1 for verdict in self.verdicts if not verdict.passed)
+
+    def diagnostic_information(self) -> List[str]:
+        """What the tester can say about *why* a violation happened.
+
+        Nothing — the black-box tester never observes the CODE(M) boundary.
+        The layered framework's M-testing report is the contrast.
+        """
+        return []
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{verdict}] black-box online testing of "
+            f"{self.test_case.requirement.requirement_id} on {self.sut_name}: "
+            f"{self.violation_count} violations in {len(self.verdicts)} samples, "
+            f"0 delay segments available"
+        )
+
+
+class BlackBoxOnlineTester:
+    """Drives the implementation and judges conformance using m/c events only."""
+
+    def __init__(self, sut_factory: SutFactory) -> None:
+        self._sut_factory = sut_factory
+
+    def run(self, test_case: RTestCase) -> BlackBoxReport:
+        sut = self._sut_factory()
+        for stimulus in test_case.stimuli:
+            sut.apply_stimulus(stimulus)
+        sut.run(test_case.run_horizon_us)
+        return self.judge(sut.name, test_case, sut.trace)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def judge(sut_name: str, test_case: RTestCase, trace: Trace) -> BlackBoxReport:
+        """Replay the observable trace and emit online verdicts.
+
+        The tester walks the m/c event stream in time order, maintaining the
+        deadline of the oldest outstanding stimulus; a response after the
+        deadline or an elapsed time-out produces a FAIL verdict at the moment
+        the tester can know it (deadline expiry), exactly like an online
+        tester that cannot look into the future.
+        """
+        requirement: TimingRequirement = test_case.requirement
+        observable = trace.restricted_to([EventKind.M, EventKind.C])
+        report = BlackBoxReport(sut_name=sut_name, test_case=test_case)
+        outstanding: List[tuple] = []  # (stimulus_index, stimulus_time)
+        next_index = 0
+        for event in observable:
+            if event.kind is EventKind.M and requirement.stimulus.matches(event):
+                outstanding.append((next_index, event.timestamp_us))
+                next_index += 1
+                continue
+            if event.kind is EventKind.C and requirement.response.matches(event):
+                # Expire older stimuli whose deadline passed before this response.
+                while outstanding and event.timestamp_us - outstanding[0][1] > requirement.effective_timeout_us:
+                    index, stimulus_time = outstanding.pop(0)
+                    report.verdicts.append(
+                        OnlineVerdict(
+                            at_us=stimulus_time + requirement.effective_timeout_us,
+                            stimulus_index=index,
+                            passed=False,
+                            reason="response not observed before time-out",
+                        )
+                    )
+                if not outstanding:
+                    continue
+                index, stimulus_time = outstanding.pop(0)
+                latency = event.timestamp_us - stimulus_time
+                report.verdicts.append(
+                    OnlineVerdict(
+                        at_us=event.timestamp_us,
+                        stimulus_index=index,
+                        passed=latency <= requirement.deadline_us,
+                        reason=(
+                            f"response after {latency / 1000:.1f} ms "
+                            f"(deadline {requirement.deadline_us / 1000:.0f} ms)"
+                        ),
+                    )
+                )
+        # Anything still outstanding at the end of the run timed out.
+        for index, stimulus_time in outstanding:
+            report.verdicts.append(
+                OnlineVerdict(
+                    at_us=stimulus_time + requirement.effective_timeout_us,
+                    stimulus_index=index,
+                    passed=False,
+                    reason="response not observed before end of test",
+                )
+            )
+        report.verdicts.sort(key=lambda verdict: verdict.stimulus_index)
+        return report

@@ -1,0 +1,167 @@
+"""Command-line interface for the layered timing-testing framework.
+
+Four sub-commands cover the everyday workflows on the GPCA case study::
+
+    python -m repro verify   [--extended]
+    python -m repro codegen  [--extended] [--output FILE]
+    python -m repro rtest    --scheme {1,2,3} [--samples N] [--seed S]
+                             [--m-test] [--json FILE] [--csv FILE]
+    python -m repro table1   [--samples N] [--output FILE]
+
+Every command prints its report to stdout; the optional file arguments
+additionally write machine-readable artefacts (JSON/CSV/C source/text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import SchemeResult, TableOne
+from .codegen import generate_code
+from .core import MTestAnalyzer, RTestRunner, render_m_report, render_r_report
+from .core.serialization import m_report_to_json, r_report_to_csv, r_report_to_json
+from .gpca import (
+    ALL_SCHEMES,
+    bolus_request_test_case,
+    build_extended_statechart,
+    build_fig2_statechart,
+    build_pump_interface,
+    gpca_requirements,
+    req1_bolus_start,
+    scheme_factory,
+    scheme_name,
+)
+from .model.verification import BoundedResponseChecker
+
+
+def _chart_for(extended: bool):
+    return build_extended_statechart() if extended else build_fig2_statechart()
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Verify the GPCA timing requirements on the model (Design-Verifier step)."""
+    chart = _chart_for(args.extended)
+    checker = BoundedResponseChecker(chart)
+    all_passed = True
+    print(f"model: {chart.name}")
+    for requirement in gpca_requirements().with_model_counterpart():
+        result = checker.check(requirement.to_model_requirement())
+        all_passed &= result.passed
+        print("  " + result.summary())
+    return 0 if all_passed else 1
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Generate CODE(M) and print / write its C-like source."""
+    artifacts = generate_code(_chart_for(args.extended))
+    print(artifacts.summary())
+    for warning in artifacts.warnings:
+        print(f"  warning: {warning}")
+    if args.output:
+        Path(args.output).write_text(artifacts.c_source, encoding="utf-8")
+        print(f"C source written to {args.output}")
+    else:
+        print(artifacts.c_source)
+    return 0
+
+
+def cmd_rtest(args: argparse.Namespace) -> int:
+    """R-test one implementation scheme against REQ1 (optionally M-test failures)."""
+    requirement = req1_bolus_start()
+    test_case = bolus_request_test_case(samples=args.samples, seed=args.seed)
+    runner = RTestRunner(scheme_factory(args.scheme, seed=args.seed))
+    r_report = runner.run(test_case)
+    print(render_r_report(r_report))
+
+    m_report = None
+    if args.m_test and not r_report.passed:
+        analyzer = MTestAnalyzer(build_pump_interface(), requirement)
+        m_report = analyzer.analyze_violations(r_report)
+        print()
+        print(render_m_report(m_report))
+
+    if args.json:
+        Path(args.json).write_text(r_report_to_json(r_report, indent=2), encoding="utf-8")
+        print(f"R-test report written to {args.json}")
+    if args.csv:
+        Path(args.csv).write_text(r_report_to_csv(r_report), encoding="utf-8")
+        print(f"sample table written to {args.csv}")
+    if args.m_json and m_report is not None:
+        Path(args.m_json).write_text(m_report_to_json(m_report, indent=2), encoding="utf-8")
+        print(f"M-test report written to {args.m_json}")
+    return 0 if r_report.passed else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Regenerate Table I across all three implementation schemes."""
+    requirement = req1_bolus_start()
+    interface = build_pump_interface()
+    test_case = bolus_request_test_case(samples=args.samples, seed=args.seed)
+    table = TableOne()
+    for scheme in ALL_SCHEMES:
+        r_report = RTestRunner(scheme_factory(scheme, seed=scheme * 11)).run(test_case)
+        m_report = MTestAnalyzer(interface, requirement).analyze(
+            r_report.trace, sut_name=r_report.sut_name
+        )
+        table.add(SchemeResult(scheme, scheme_name(scheme), r_report, m_report))
+    rendered = table.render()
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"table written to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Layered timing testing for model-based implementations (DATE 2014 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify = subparsers.add_parser("verify", help="verify the GPCA requirements on the model")
+    verify.add_argument("--extended", action="store_true", help="use the extended GPCA chart")
+    verify.set_defaults(handler=cmd_verify)
+
+    codegen = subparsers.add_parser("codegen", help="generate CODE(M) and emit its C source")
+    codegen.add_argument("--extended", action="store_true", help="use the extended GPCA chart")
+    codegen.add_argument("--output", help="write the C source to this file")
+    codegen.set_defaults(handler=cmd_codegen)
+
+    rtest = subparsers.add_parser("rtest", help="R-test one implementation scheme against REQ1")
+    rtest.add_argument("--scheme", type=int, choices=sorted(ALL_SCHEMES), required=True)
+    rtest.add_argument("--samples", type=int, default=10)
+    rtest.add_argument("--seed", type=int, default=7)
+    rtest.add_argument("--m-test", action="store_true", help="run M-testing on violating samples")
+    rtest.add_argument("--json", help="write the R-test report as JSON")
+    rtest.add_argument("--csv", help="write the per-sample table as CSV")
+    rtest.add_argument("--m-json", help="write the M-test report as JSON")
+    rtest.set_defaults(handler=cmd_rtest)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table I across all schemes")
+    table1.add_argument("--samples", type=int, default=10)
+    table1.add_argument("--seed", type=int, default=7)
+    table1.add_argument("--output", help="write the rendered table to this file")
+    table1.set_defaults(handler=cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Emission of C-like source text from the lowered code model.
+
+The generated text is not compiled anywhere in this repository — the runtime
+semantics live in :class:`repro.codegen.generated.GeneratedCode` — but
+emitting it serves two purposes:
+
+* it documents, in a reviewable artefact, that the lowering preserves the
+  model structure (states become an enum, transitions become switch cases),
+  which is the property the paper's methodology relies on when it trusts
+  CODE(M) functionally; and
+* downstream users who want to cross-compile for a real MCU get a faithful
+  starting point whose structure matches the simulated runtime one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .ir import ActionIR, CodeModel, TransitionIR
+
+
+def _identifier(name: str) -> str:
+    """Convert a model name ('i-BolusReq') into a C identifier ('i_BolusReq')."""
+    cleaned = []
+    for char in name:
+        cleaned.append(char if char.isalnum() or char == "_" else "_")
+    identifier = "".join(cleaned)
+    if identifier and identifier[0].isdigit():
+        identifier = "_" + identifier
+    return identifier
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if callable(value):
+        return "/* computed */ 0"
+    return str(value)
+
+
+def emit_c_source(model: CodeModel) -> str:
+    """Render the complete C-like translation unit for ``model``."""
+    lines: List[str] = []
+    chart_id = _identifier(model.name)
+    lines.append(f"/* Auto-generated from statechart '{model.name}'. Do not edit. */")
+    lines.append("#include <stdint.h>")
+    lines.append("")
+    lines.extend(_emit_state_enum(model, chart_id))
+    lines.append("")
+    lines.extend(_emit_io_struct(model, chart_id))
+    lines.append("")
+    lines.extend(_emit_state_struct(model, chart_id))
+    lines.append("")
+    lines.extend(_emit_init_function(model, chart_id))
+    lines.append("")
+    lines.extend(_emit_step_function(model, chart_id))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _emit_state_enum(model: CodeModel, chart_id: str) -> List[str]:
+    lines = [f"typedef enum {{"]
+    for index, name in enumerate(model.state_names):
+        lines.append(f"    {chart_id}_STATE_{_identifier(name).upper()} = {index},")
+    lines.append(f"}} {chart_id}_state_t;")
+    return lines
+
+
+def _emit_io_struct(model: CodeModel, chart_id: str) -> List[str]:
+    lines = [f"typedef struct {{"]
+    for name in model.input_names:
+        lines.append(f"    uint8_t {_identifier(name)};   /* input occurrence flag */")
+    for name in model.output_initials:
+        lines.append(f"    int32_t {_identifier(name)};   /* output variable */")
+    lines.append(f"}} {chart_id}_io_t;")
+    return lines
+
+
+def _emit_state_struct(model: CodeModel, chart_id: str) -> List[str]:
+    lines = [f"typedef struct {{"]
+    lines.append(f"    {chart_id}_state_t current_state;")
+    lines.append("    uint32_t state_clock_ms;")
+    for name, value in model.local_initials.items():
+        lines.append(f"    int32_t {_identifier(name)};   /* local variable, initial {_literal(value)} */")
+    lines.append(f"}} {chart_id}_dwork_t;")
+    return lines
+
+
+def _emit_init_function(model: CodeModel, chart_id: str) -> List[str]:
+    initial_state = model.state_names[model.initial_state_index]
+    lines = [f"void {chart_id}_init({chart_id}_dwork_t *dw, {chart_id}_io_t *io)"]
+    lines.append("{")
+    lines.append(f"    dw->current_state = {chart_id}_STATE_{_identifier(initial_state).upper()};")
+    lines.append("    dw->state_clock_ms = 0u;")
+    for name, value in model.local_initials.items():
+        lines.append(f"    dw->{_identifier(name)} = {_literal(value)};")
+    for name in model.input_names:
+        lines.append(f"    io->{_identifier(name)} = 0u;")
+    for name, value in model.output_initials.items():
+        lines.append(f"    io->{_identifier(name)} = {_literal(value)};")
+    lines.append("}")
+    return lines
+
+
+def _emit_transition_condition(row: TransitionIR, chart_id: str) -> str:
+    if row.trigger_kind == "event":
+        condition = f"io->{_identifier(row.trigger_param)}"
+    elif row.trigger_kind in ("after", "at"):
+        condition = f"dw->state_clock_ms >= {row.trigger_param}u"
+    else:  # before: eager resolution, matching the runtime semantics
+        condition = "1 /* before(%s): fire at first opportunity */" % row.trigger_param
+    if row.guard is not None:
+        condition += " && guard_%d(dw, io)" % row.index
+    return condition
+
+
+def _emit_actions(row: TransitionIR, chart_id: str, model: CodeModel) -> List[str]:
+    lines: List[str] = []
+    if row.trigger_kind == "event":
+        lines.append(f"            io->{_identifier(row.trigger_param)} = 0u;  /* consume event */")
+    for action in row.actions:
+        target = "io" if action.is_output else "dw"
+        lines.append(f"            {target}->{_identifier(action.variable)} = {_literal(action.value)};")
+    target_state = model.state_names[row.target_index]
+    lines.append(
+        f"            dw->current_state = {chart_id}_STATE_{_identifier(target_state).upper()};"
+    )
+    lines.append("            dw->state_clock_ms = 0u;")
+    return lines
+
+
+def _emit_step_function(model: CodeModel, chart_id: str) -> List[str]:
+    lines = [
+        f"void {chart_id}_step({chart_id}_dwork_t *dw, {chart_id}_io_t *io, uint32_t elapsed_ms)",
+        "{",
+        "    dw->state_clock_ms += elapsed_ms;",
+        "    switch (dw->current_state) {",
+    ]
+    for state_index, state_name in enumerate(model.state_names):
+        lines.append(f"    case {chart_id}_STATE_{_identifier(state_name).upper()}: {{")
+        rows = model.transitions_from(state_index)
+        if not rows:
+            lines.append("        /* terminal state */")
+        for position, row in enumerate(rows):
+            keyword = "if" if position == 0 else "} else if"
+            lines.append(f"        {keyword} ({_emit_transition_condition(row, chart_id)}) {{")
+            lines.append(f"            /* transition: {row.name} */")
+            lines.extend(_emit_actions(row, chart_id, model))
+        if rows:
+            lines.append("        }")
+        lines.append("        break;")
+        lines.append("    }")
+    lines.append("    default:")
+    lines.append("        break;")
+    lines.append("    }")
+    lines.append("}")
+    return lines

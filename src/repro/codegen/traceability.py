@@ -1,0 +1,103 @@
+"""Model-to-code traceability.
+
+M-testing reports Transition-Delays by *model* transition (the paper's
+Trans1 / Trans2 of the (i-BolusReq, o-MotorState) pair), while the platform
+instrumentation records firings of *generated* transition-table rows.  The
+traceability map ties the two together and also answers structural queries
+used by coverage analysis ("which rows implement the transitions on the path
+from Idle to Infusion?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.statechart import Statechart
+from .ir import CodeModel, TransitionIR
+
+
+@dataclass(frozen=True)
+class TransitionLink:
+    """Pairing of a model transition name with its generated table row."""
+
+    model_transition: str
+    row_index: int
+    source_state: str
+    target_state: str
+
+
+class TraceabilityMap:
+    """Bidirectional mapping between model elements and generated-code elements."""
+
+    def __init__(self, chart: Statechart, code_model: CodeModel) -> None:
+        self.chart = chart
+        self.code_model = code_model
+        self._links: List[TransitionLink] = []
+        self._by_model_name: Dict[str, TransitionLink] = {}
+        self._by_row_index: Dict[int, TransitionLink] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for row in self.code_model.transitions:
+            link = TransitionLink(
+                model_transition=row.name,
+                row_index=row.index,
+                source_state=self.code_model.state_names[row.source_index],
+                target_state=self.code_model.state_names[row.target_index],
+            )
+            self._links.append(link)
+            self._by_model_name[link.model_transition] = link
+            self._by_row_index[link.row_index] = link
+
+    # ------------------------------------------------------------------
+    @property
+    def links(self) -> Sequence[TransitionLink]:
+        return tuple(self._links)
+
+    def row_for_transition(self, model_transition: str) -> TransitionLink:
+        try:
+            return self._by_model_name[model_transition]
+        except KeyError:
+            raise KeyError(f"no generated row for model transition {model_transition!r}") from None
+
+    def transition_for_row(self, row_index: int) -> TransitionLink:
+        try:
+            return self._by_row_index[row_index]
+        except KeyError:
+            raise KeyError(f"no model transition for generated row {row_index}") from None
+
+    def state_name(self, state_index: int) -> str:
+        return self.code_model.state_names[state_index]
+
+    # ------------------------------------------------------------------
+    def path_between(self, source_state: str, target_state: str) -> List[TransitionLink]:
+        """Shortest transition path from ``source_state`` to ``target_state``.
+
+        Used to enumerate the transitions whose delays make up a CODE(M)-Delay
+        (for REQ1 this is Idle -> BolusRequested -> Infusion).
+        """
+        if source_state == target_state:
+            return []
+        frontier: List[Tuple[str, List[TransitionLink]]] = [(source_state, [])]
+        visited = {source_state}
+        while frontier:
+            state, path = frontier.pop(0)
+            for link in self._links:
+                if link.source_state != state:
+                    continue
+                next_path = path + [link]
+                if link.target_state == target_state:
+                    return next_path
+                if link.target_state not in visited:
+                    visited.add(link.target_state)
+                    frontier.append((link.target_state, next_path))
+        raise KeyError(f"no path from {source_state!r} to {target_state!r}")
+
+    def transitions_writing(self, output_variable: str) -> List[TransitionLink]:
+        """All links whose generated row assigns ``output_variable``."""
+        result = []
+        for row in self.code_model.transitions:
+            if any(action.is_output and action.variable == output_variable for action in row.actions):
+                result.append(self._by_row_index[row.index])
+        return result

@@ -1,0 +1,389 @@
+"""Parnas' four-variables model: variables, events, traces and recorders.
+
+The paper uses the four-variables model to define *where* the implemented
+system is observed:
+
+* **monitored** (``m``) variables — physical quantities observed by the
+  hardware platform (e.g. the electrical state of the bolus-request button);
+* **input** (``i``) variables — values read by the auto-generated code
+  CODE(M) (e.g. the boolean ``i-BolusReq`` the code generator emitted);
+* **output** (``o``) variables — values written by CODE(M)
+  (e.g. ``o-MotorState``);
+* **controlled** (``c``) variables — physical quantities enforced by the
+  hardware platform (e.g. the pump-motor speed).
+
+Every observation of a value change at one of these boundaries is an
+:class:`Event` with an exact timestamp; a test run produces a :class:`Trace`.
+R-testing consumes only M and C events; M-testing additionally consumes I, O
+and transition start/end events.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+class VariableKind(enum.Enum):
+    """The four variable kinds of Parnas' model."""
+
+    MONITORED = "m"
+    INPUT = "i"
+    OUTPUT = "o"
+    CONTROLLED = "c"
+
+
+class EventKind(enum.Enum):
+    """Kinds of timestamped observations appearing in a trace."""
+
+    M = "m"
+    I = "i"  # noqa: E741 - single-letter name mirrors the paper's notation
+    O = "o"  # noqa: E741
+    C = "c"
+    TRANSITION_START = "trans_start"
+    TRANSITION_END = "trans_end"
+
+    @classmethod
+    def for_variable(cls, kind: VariableKind) -> "EventKind":
+        """Map a variable kind to its event kind."""
+        return {
+            VariableKind.MONITORED: cls.M,
+            VariableKind.INPUT: cls.I,
+            VariableKind.OUTPUT: cls.O,
+            VariableKind.CONTROLLED: cls.C,
+        }[kind]
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """Declaration of one variable of the four-variable interface."""
+
+    name: str
+    kind: VariableKind
+    var_type: str = "bool"
+    initial: Any = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if self.var_type not in ("bool", "int", "float", "str"):
+            raise ValueError(f"unsupported variable type {self.var_type!r}")
+
+
+@dataclass(frozen=True)
+class InputMapping:
+    """Pairing of an m-variable with the i-variable the Input-Device produces."""
+
+    monitored: str
+    input: str
+
+
+@dataclass(frozen=True)
+class OutputMapping:
+    """Pairing of an o-variable with the c-variable the Output-Device produces."""
+
+    output: str
+    controlled: str
+
+
+class FourVariableInterface:
+    """The complete four-variable interface of an implemented system.
+
+    Besides declaring the variables, the interface records the Input-Device
+    and Output-Device pairings (which m-variable feeds which i-variable and
+    which o-variable drives which c-variable).  M-testing uses the pairings to
+    attribute Input-Delay and Output-Delay to the right event pairs.
+    """
+
+    def __init__(self) -> None:
+        self._variables: Dict[str, VariableSpec] = {}
+        self._input_mappings: List[InputMapping] = []
+        self._output_mappings: List[OutputMapping] = []
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+    def add(self, spec: VariableSpec) -> VariableSpec:
+        if spec.name in self._variables:
+            raise ValueError(f"variable {spec.name!r} already declared")
+        self._variables[spec.name] = spec
+        return spec
+
+    def declare(
+        self,
+        name: str,
+        kind: VariableKind,
+        var_type: str = "bool",
+        initial: Any = False,
+        description: str = "",
+    ) -> VariableSpec:
+        return self.add(VariableSpec(name, kind, var_type, initial, description))
+
+    def monitored(self, name: str, **kwargs: Any) -> VariableSpec:
+        return self.declare(name, VariableKind.MONITORED, **kwargs)
+
+    def input(self, name: str, **kwargs: Any) -> VariableSpec:
+        return self.declare(name, VariableKind.INPUT, **kwargs)
+
+    def output(self, name: str, **kwargs: Any) -> VariableSpec:
+        return self.declare(name, VariableKind.OUTPUT, **kwargs)
+
+    def controlled(self, name: str, **kwargs: Any) -> VariableSpec:
+        return self.declare(name, VariableKind.CONTROLLED, **kwargs)
+
+    def link_input(self, monitored: str, input_name: str) -> InputMapping:
+        """Declare that the Input-Device converts ``monitored`` into ``input_name``."""
+        self._require(monitored, VariableKind.MONITORED)
+        self._require(input_name, VariableKind.INPUT)
+        mapping = InputMapping(monitored, input_name)
+        self._input_mappings.append(mapping)
+        return mapping
+
+    def link_output(self, output_name: str, controlled: str) -> OutputMapping:
+        """Declare that the Output-Device converts ``output_name`` into ``controlled``."""
+        self._require(output_name, VariableKind.OUTPUT)
+        self._require(controlled, VariableKind.CONTROLLED)
+        mapping = OutputMapping(output_name, controlled)
+        self._output_mappings.append(mapping)
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _require(self, name: str, kind: VariableKind) -> VariableSpec:
+        spec = self.get(name)
+        if spec.kind is not kind:
+            raise ValueError(f"variable {name!r} is {spec.kind.value!r}, expected {kind.value!r}")
+        return spec
+
+    def get(self, name: str) -> VariableSpec:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise KeyError(f"unknown variable {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variables
+
+    def variables(self, kind: Optional[VariableKind] = None) -> List[VariableSpec]:
+        specs = list(self._variables.values())
+        if kind is None:
+            return specs
+        return [spec for spec in specs if spec.kind is kind]
+
+    def names(self, kind: Optional[VariableKind] = None) -> List[str]:
+        return [spec.name for spec in self.variables(kind)]
+
+    @property
+    def input_mappings(self) -> Sequence[InputMapping]:
+        return tuple(self._input_mappings)
+
+    @property
+    def output_mappings(self) -> Sequence[OutputMapping]:
+        return tuple(self._output_mappings)
+
+    def input_for_monitored(self, monitored: str) -> Optional[str]:
+        for mapping in self._input_mappings:
+            if mapping.monitored == monitored:
+                return mapping.input
+        return None
+
+    def controlled_for_output(self, output_name: str) -> Optional[str]:
+        for mapping in self._output_mappings:
+            if mapping.output == output_name:
+                return mapping.controlled
+        return None
+
+    def monitored_for_input(self, input_name: str) -> Optional[str]:
+        for mapping in self._input_mappings:
+            if mapping.input == input_name:
+                return mapping.monitored
+        return None
+
+    def output_for_controlled(self, controlled: str) -> Optional[str]:
+        for mapping in self._output_mappings:
+            if mapping.controlled == controlled:
+                return mapping.output
+        return None
+
+    def validate(self) -> None:
+        """Check structural consistency; raises :class:`ValueError` on problems."""
+        for mapping in self._input_mappings:
+            self._require(mapping.monitored, VariableKind.MONITORED)
+            self._require(mapping.input, VariableKind.INPUT)
+        for mapping in self._output_mappings:
+            self._require(mapping.output, VariableKind.OUTPUT)
+            self._require(mapping.controlled, VariableKind.CONTROLLED)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped observation at a four-variable boundary."""
+
+    kind: EventKind
+    variable: str
+    value: Any
+    timestamp_us: int
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.timestamp_us < 0:
+            raise ValueError("event timestamp must be non-negative")
+
+    def matches(self, kind: Optional[EventKind] = None, variable: Optional[str] = None) -> bool:
+        if kind is not None and self.kind is not kind:
+            return False
+        if variable is not None and self.variable != variable:
+            return False
+        return True
+
+
+class Trace:
+    """An append-only, time-ordered sequence of :class:`Event` objects."""
+
+    def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
+        self._events: List[Event] = []
+        if events is not None:
+            for event in events:
+                self.append(event)
+
+    def append(self, event: Event) -> None:
+        if self._events and event.timestamp_us < self._events[-1].timestamp_us:
+            raise ValueError(
+                "events must be appended in non-decreasing timestamp order: "
+                f"{event.timestamp_us} < {self._events[-1].timestamp_us}"
+            )
+        self._events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return tuple(self._events)
+
+    @property
+    def duration_us(self) -> int:
+        if not self._events:
+            return 0
+        return self._events[-1].timestamp_us - self._events[0].timestamp_us
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        kind: Optional[EventKind] = None,
+        variable: Optional[str] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        after_us: Optional[int] = None,
+        before_us: Optional[int] = None,
+    ) -> List[Event]:
+        """Return events matching all provided filters, in time order."""
+        selected = []
+        for event in self._events:
+            if not event.matches(kind, variable):
+                continue
+            if after_us is not None and event.timestamp_us < after_us:
+                continue
+            if before_us is not None and event.timestamp_us > before_us:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return selected
+
+    def first(
+        self,
+        kind: Optional[EventKind] = None,
+        variable: Optional[str] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        after_us: Optional[int] = None,
+    ) -> Optional[Event]:
+        """First event matching the filters at or after ``after_us``."""
+        for event in self._events:
+            if after_us is not None and event.timestamp_us < after_us:
+                continue
+            if not event.matches(kind, variable):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            return event
+        return None
+
+    def restricted_to(self, kinds: Iterable[EventKind]) -> "Trace":
+        """A copy containing only the given event kinds (e.g. M and C for R-testing)."""
+        wanted = set(kinds)
+        return Trace(event for event in self._events if event.kind in wanted)
+
+    def value_changes(self, kind: EventKind, variable: str) -> List[Tuple[int, Any]]:
+        """``(timestamp, value)`` pairs where ``variable`` changed value."""
+        changes: List[Tuple[int, Any]] = []
+        previous: Any = object()
+        for event in self.select(kind=kind, variable=variable):
+            if event.value != previous:
+                changes.append((event.timestamp_us, event.value))
+                previous = event.value
+        return changes
+
+
+class TraceRecorder:
+    """Collects events from the platform and integration layers into a trace.
+
+    ``clock`` is a zero-argument callable returning the current simulated time
+    in microseconds (usually ``simulator.now`` via a lambda), so the recorder
+    does not depend on the platform package.
+    """
+
+    def __init__(self, clock: Callable[[], int]) -> None:
+        self._clock = clock
+        self.trace = Trace()
+
+    @property
+    def now(self) -> int:
+        return self._clock()
+
+    def _record(self, kind: EventKind, variable: str, value: Any, **meta: Any) -> Event:
+        event = Event(kind, variable, value, self._clock(), dict(meta))
+        self.trace.append(event)
+        return event
+
+    def record_m(self, variable: str, value: Any, **meta: Any) -> Event:
+        """Record a monitored-variable change (physical input boundary)."""
+        return self._record(EventKind.M, variable, value, **meta)
+
+    def record_i(self, variable: str, value: Any, **meta: Any) -> Event:
+        """Record an input-variable read by CODE(M)."""
+        return self._record(EventKind.I, variable, value, **meta)
+
+    def record_o(self, variable: str, value: Any, **meta: Any) -> Event:
+        """Record an output-variable write by CODE(M)."""
+        return self._record(EventKind.O, variable, value, **meta)
+
+    def record_c(self, variable: str, value: Any, **meta: Any) -> Event:
+        """Record a controlled-variable change (physical output boundary)."""
+        return self._record(EventKind.C, variable, value, **meta)
+
+    def record_transition_start(self, transition_id: str, **meta: Any) -> Event:
+        """Record that CODE(M) started executing a model transition."""
+        return self._record(EventKind.TRANSITION_START, transition_id, None, **meta)
+
+    def record_transition_end(self, transition_id: str, **meta: Any) -> Event:
+        """Record that CODE(M) finished executing a model transition."""
+        return self._record(EventKind.TRANSITION_END, transition_id, None, **meta)
+
+    def reset(self) -> None:
+        """Start a fresh trace (used between test-case executions)."""
+        self.trace = Trace()

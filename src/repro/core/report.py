@@ -1,0 +1,109 @@
+"""Textual reporting of R-testing and M-testing outcomes.
+
+These renderers produce the per-run reports a test engineer reads; the
+paper-style aggregated Table I is produced by :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .delays import DelaySegments
+from .m_testing import MTestReport
+from .r_testing import RTestReport, SampleVerdict
+
+
+def _format_ms(value_us: Optional[int]) -> str:
+    if value_us is None:
+        return "MAX"
+    return f"{value_us / 1000:.1f}"
+
+
+def render_r_report(report: RTestReport) -> str:
+    """A human-readable R-testing report (one line per sample)."""
+    requirement = report.requirement
+    lines = [
+        f"R-testing report — {requirement.requirement_id} on {report.sut_name}",
+        f"  requirement: {requirement.description or requirement.requirement_id}",
+        f"  deadline: {requirement.deadline_us / 1000:.0f} ms, "
+        f"timeout: {requirement.effective_timeout_us / 1000:.0f} ms",
+        f"  samples: {len(report.samples)}",
+        "",
+        f"  {'#':>3}  {'stimulus (ms)':>14}  {'latency (ms)':>13}  verdict",
+    ]
+    for sample in report.samples:
+        verdict = sample.verdict.value.upper()
+        lines.append(
+            f"  {sample.index:>3}  {sample.stimulus_time_us / 1000:>14.1f}  "
+            f"{sample.latency_label():>13}  {verdict}"
+        )
+    lines.append("")
+    lines.append("  " + report.summary())
+    return "\n".join(lines)
+
+
+def render_m_report(report: MTestReport) -> str:
+    """A human-readable M-testing report with per-sample delay segments."""
+    lines = [
+        f"M-testing report — {report.requirement.requirement_id} on {report.sut_name}",
+        f"  samples segmented: {len(report.segments)}",
+        "",
+        f"  {'#':>3}  {'input (ms)':>11}  {'code (ms)':>10}  {'output (ms)':>12}  "
+        f"{'end-to-end (ms)':>16}  transitions",
+    ]
+    for segment in report.segments:
+        transitions = ", ".join(
+            f"{delay.transition}={delay.duration_us / 1000:.1f}ms"
+            for delay in segment.transition_delays
+        ) or "-"
+        lines.append(
+            f"  {segment.sample_index:>3}  {_format_ms(segment.input_delay_us):>11}  "
+            f"{_format_ms(segment.code_delay_us):>10}  {_format_ms(segment.output_delay_us):>12}  "
+            f"{_format_ms(segment.end_to_end_us):>16}  {transitions}"
+        )
+    lines.append("")
+    statistics = report.statistics()
+    if statistics:
+        lines.append("  segment statistics (ms):")
+        for stats in statistics:
+            lines.append(
+                f"    {stats.name:>12}: mean {stats.mean_us / 1000:6.1f}   "
+                f"min {stats.min_us / 1000:6.1f}   max {stats.max_us / 1000:6.1f}"
+            )
+    dominant = report.dominant_segment()
+    if dominant is not None:
+        lines.append(f"  dominant delay segment: {dominant}")
+    return "\n".join(lines)
+
+
+def render_layered_summary(r_report: RTestReport, m_report: Optional[MTestReport]) -> str:
+    """The combined R-then-M narrative for one implemented system."""
+    lines = [r_report.summary()]
+    if r_report.passed:
+        lines.append(
+            "R-testing passed; per the layered workflow M-testing is not required."
+        )
+    elif m_report is None:
+        lines.append(
+            "R-testing failed; run M-testing to segment the violating samples."
+        )
+    else:
+        lines.append(m_report.summary())
+        dominant = m_report.dominant_segment()
+        if dominant == "input":
+            lines.append(
+                "Diagnosis: the Input-Delay dominates — look at sensor sampling "
+                "periods and the sensing thread's period/priority."
+            )
+        elif dominant == "output":
+            lines.append(
+                "Diagnosis: the Output-Delay dominates — look at actuation "
+                "batching and the actuation thread's period/priority."
+            )
+        elif dominant == "code":
+            lines.append(
+                "Diagnosis: the CODE(M)-Delay dominates — look at the CODE(M) "
+                "thread's period, its preemption by higher-priority threads and "
+                "the per-transition execution times."
+            )
+    return "\n".join(lines)

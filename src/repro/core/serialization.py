@@ -1,0 +1,208 @@
+"""Serialization of traces and test reports.
+
+Measurement campaigns on real hardware produce traces on the target and
+analyse them on a workstation; this module provides the interchange format
+for that workflow (and for archiving benchmark runs):
+
+* traces — JSON round-trip (every event with kind, variable, value, timestamp
+  and metadata);
+* R-test reports — JSON export of verdicts plus CSV export of the sample
+  table;
+* M-test reports — JSON export of the delay segments.
+
+Only built-in types are emitted, so the files are stable across library
+versions and readable by any tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Optional
+
+from .delays import DelaySegments, TransitionDelay
+from .four_variables import Event, EventKind, Trace
+from .m_testing import MTestReport
+from .r_testing import RSample, RTestReport, SampleVerdict
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Convert a trace to a JSON-serialisable dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "events": [
+            {
+                "kind": event.kind.value,
+                "variable": event.variable,
+                "value": event.value,
+                "timestamp_us": event.timestamp_us,
+                "meta": dict(event.meta),
+            }
+            for event in trace
+        ],
+    }
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> Trace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version}")
+    events = [
+        Event(
+            kind=EventKind(item["kind"]),
+            variable=item["variable"],
+            value=item["value"],
+            timestamp_us=item["timestamp_us"],
+            meta=item.get("meta", {}),
+        )
+        for item in payload.get("events", [])
+    ]
+    return Trace(events)
+
+
+def trace_to_json(trace: Trace, *, indent: Optional[int] = None) -> str:
+    """Serialise a trace to a JSON string."""
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def trace_from_json(text: str) -> Trace:
+    """Deserialise a trace from a JSON string."""
+    return trace_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# R-test reports
+# ----------------------------------------------------------------------
+def r_report_to_dict(report: RTestReport, *, include_trace: bool = False) -> Dict[str, Any]:
+    """Convert an R-test report (verdicts + metadata) to a dictionary."""
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "sut": report.sut_name,
+        "test_case": report.test_case.name,
+        "requirement": {
+            "id": report.requirement.requirement_id,
+            "description": report.requirement.description,
+            "deadline_us": report.requirement.deadline_us,
+            "timeout_us": report.requirement.effective_timeout_us,
+        },
+        "passed": report.passed,
+        "violations": report.violation_count,
+        "timeouts": report.timeout_count,
+        "samples": [
+            {
+                "index": sample.index,
+                "stimulus_time_us": sample.stimulus_time_us,
+                "response_time_us": sample.response_time_us,
+                "latency_us": sample.latency_us,
+                "verdict": sample.verdict.value,
+            }
+            for sample in report.samples
+        ],
+    }
+    if include_trace and report.trace is not None:
+        payload["trace"] = trace_to_dict(report.trace)
+    return payload
+
+
+def r_report_samples_from_dict(payload: Dict[str, Any]) -> List[RSample]:
+    """Rebuild the sample verdicts of an exported R-test report."""
+    return [
+        RSample(
+            index=item["index"],
+            stimulus_time_us=item["stimulus_time_us"],
+            response_time_us=item.get("response_time_us"),
+            latency_us=item.get("latency_us"),
+            verdict=SampleVerdict(item["verdict"]),
+        )
+        for item in payload.get("samples", [])
+    ]
+
+
+def r_report_to_csv(report: RTestReport) -> str:
+    """Render the per-sample verdict table as CSV (one row per sample)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["sample", "stimulus_time_ms", "response_time_ms", "latency_ms", "verdict"]
+    )
+    for sample in report.samples:
+        writer.writerow(
+            [
+                sample.index,
+                f"{sample.stimulus_time_us / 1000:.3f}",
+                "" if sample.response_time_us is None else f"{sample.response_time_us / 1000:.3f}",
+                "" if sample.latency_us is None else f"{sample.latency_us / 1000:.3f}",
+                sample.verdict.value,
+            ]
+        )
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# M-test reports
+# ----------------------------------------------------------------------
+def m_report_to_dict(report: MTestReport) -> Dict[str, Any]:
+    """Convert an M-test report (delay segments) to a dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "sut": report.sut_name,
+        "requirement": report.requirement.requirement_id,
+        "dominant_segment": report.dominant_segment(),
+        "segments": [
+            {
+                "sample_index": segment.sample_index,
+                "m_time_us": segment.m_time_us,
+                "i_time_us": segment.i_time_us,
+                "o_time_us": segment.o_time_us,
+                "c_time_us": segment.c_time_us,
+                "input_delay_us": segment.input_delay_us,
+                "code_delay_us": segment.code_delay_us,
+                "output_delay_us": segment.output_delay_us,
+                "end_to_end_us": segment.end_to_end_us,
+                "transitions": [
+                    {
+                        "transition": delay.transition,
+                        "start_us": delay.start_us,
+                        "end_us": delay.end_us,
+                    }
+                    for delay in segment.transition_delays
+                ],
+            }
+            for segment in report.segments
+        ],
+    }
+
+
+def segments_from_dict(payload: Dict[str, Any]) -> List[DelaySegments]:
+    """Rebuild the delay segments of an exported M-test report."""
+    segments = []
+    for item in payload.get("segments", []):
+        segments.append(
+            DelaySegments(
+                sample_index=item["sample_index"],
+                m_time_us=item.get("m_time_us"),
+                i_time_us=item.get("i_time_us"),
+                o_time_us=item.get("o_time_us"),
+                c_time_us=item.get("c_time_us"),
+                transition_delays=[
+                    TransitionDelay(t["transition"], t["start_us"], t["end_us"])
+                    for t in item.get("transitions", [])
+                ],
+            )
+        )
+    return segments
+
+
+def m_report_to_json(report: MTestReport, *, indent: Optional[int] = None) -> str:
+    return json.dumps(m_report_to_dict(report), indent=indent)
+
+
+def r_report_to_json(report: RTestReport, *, include_trace: bool = False, indent: Optional[int] = None) -> str:
+    return json.dumps(r_report_to_dict(report, include_trace=include_trace), indent=indent)

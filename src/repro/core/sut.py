@@ -1,0 +1,46 @@
+"""The system-under-test abstraction shared by R-testing and M-testing.
+
+An implemented system, for the purposes of the testing framework, is anything
+that can (1) accept scheduled m-event stimuli, (2) run for a bounded amount of
+platform time and (3) hand back the four-variable trace recorded while it ran.
+The three implementation schemes in :mod:`repro.integration` implement this
+interface on top of the simulated platform; a user with a real test bench
+would implement it against their measurement hardware instead.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from .four_variables import FourVariableInterface, Trace
+from .test_generation import Stimulus
+
+
+class SystemUnderTest(abc.ABC):
+    """One built-and-integrated implementation ready to execute test cases."""
+
+    #: Human-readable name used in reports (e.g. ``"scheme1-single-threaded"``).
+    name: str = "unnamed-sut"
+
+    @property
+    @abc.abstractmethod
+    def interface(self) -> FourVariableInterface:
+        """The four-variable interface of this implemented system."""
+
+    @abc.abstractmethod
+    def apply_stimulus(self, stimulus: Stimulus) -> None:
+        """Schedule one m-event stimulus for injection at ``stimulus.at_us``."""
+
+    @abc.abstractmethod
+    def run(self, until_us: int) -> None:
+        """Execute the implemented system up to platform time ``until_us``."""
+
+    @property
+    @abc.abstractmethod
+    def trace(self) -> Trace:
+        """The four-variable trace recorded so far."""
+
+
+#: A factory producing a fresh, independent system for each test-case execution.
+SutFactory = Callable[[], SystemUnderTest]

@@ -1,0 +1,126 @@
+"""Assembly of complete implemented pump systems (model -> code -> platform).
+
+These factories run the whole model-based implementation pipeline of Fig. 1:
+build (or accept) a statechart, generate CODE(M) from it, assemble a fresh
+simulated platform and integrate the two with one of the three implementation
+schemes.  The returned objects are :class:`SystemUnderTest` instances ready
+for R-testing and M-testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..codegen.generator import GeneratedArtifacts, generate_code
+from ..core.instrumentation import ProbeConfiguration
+from ..core.sut import SutFactory
+from ..integration.base import SchemeConfig
+from ..integration.interference import InterferedConfig, InterferedSystem
+from ..integration.multi_threaded import MultiThreadedConfig, MultiThreadedSystem
+from ..integration.single_threaded import SingleThreadedConfig, SingleThreadedSystem
+from ..model.statechart import Statechart
+from .hardware import arm7_execution_model, build_platform_bundle
+from .model import build_extended_statechart, build_fig2_statechart
+
+#: The scheme identifiers used throughout the benchmarks and examples.
+SCHEME_SINGLE_THREADED = 1
+SCHEME_MULTI_THREADED = 2
+SCHEME_INTERFERED = 3
+ALL_SCHEMES = (SCHEME_SINGLE_THREADED, SCHEME_MULTI_THREADED, SCHEME_INTERFERED)
+
+
+@dataclass
+class PumpBuildOptions:
+    """Options shared by the scheme factories."""
+
+    seed: int = 0
+    use_extended_model: bool = False
+    probes: ProbeConfiguration = None  # defaults to full M-level probes
+    artifacts: Optional[GeneratedArtifacts] = None
+
+    def resolve_artifacts(self) -> GeneratedArtifacts:
+        if self.artifacts is not None:
+            return self.artifacts
+        chart = build_extended_statechart() if self.use_extended_model else build_fig2_statechart()
+        return generate_code(chart)
+
+
+def _prepare(options: Optional[PumpBuildOptions]) -> tuple:
+    options = options or PumpBuildOptions()
+    artifacts = options.resolve_artifacts()
+    bundle = build_platform_bundle(
+        seed=options.seed, input_variables=artifacts.code_model.input_names
+    )
+    probes = options.probes or ProbeConfiguration.m_level()
+    return options, artifacts, bundle, probes
+
+
+def _apply_common_config(config: SchemeConfig, options: PumpBuildOptions, probes: ProbeConfiguration) -> None:
+    config.execution_model = arm7_execution_model()
+    config.probes = probes
+    config.seed = options.seed
+
+
+def make_scheme1_system(
+    options: Optional[PumpBuildOptions] = None,
+    config: Optional[SingleThreadedConfig] = None,
+) -> SingleThreadedSystem:
+    """Scheme 1: the single-threaded 25 ms loop."""
+    options, artifacts, bundle, probes = _prepare(options)
+    config = config or SingleThreadedConfig()
+    _apply_common_config(config, options, probes)
+    return SingleThreadedSystem(bundle, artifacts, config)
+
+
+def make_scheme2_system(
+    options: Optional[PumpBuildOptions] = None,
+    config: Optional[MultiThreadedConfig] = None,
+) -> MultiThreadedSystem:
+    """Scheme 2: sensing / CODE(M) / actuation threads with FIFO queues."""
+    options, artifacts, bundle, probes = _prepare(options)
+    config = config or MultiThreadedConfig()
+    _apply_common_config(config, options, probes)
+    return MultiThreadedSystem(bundle, artifacts, config)
+
+
+def make_scheme3_system(
+    options: Optional[PumpBuildOptions] = None,
+    config: Optional[InterferedConfig] = None,
+) -> InterferedSystem:
+    """Scheme 3: scheme 2 plus the three interfering threads."""
+    options, artifacts, bundle, probes = _prepare(options)
+    config = config or InterferedConfig()
+    _apply_common_config(config, options, probes)
+    return InterferedSystem(bundle, artifacts, config)
+
+
+def make_system(scheme: int, options: Optional[PumpBuildOptions] = None):
+    """Build the implemented system for a numeric scheme identifier (1, 2 or 3)."""
+    if scheme == SCHEME_SINGLE_THREADED:
+        return make_scheme1_system(options)
+    if scheme == SCHEME_MULTI_THREADED:
+        return make_scheme2_system(options)
+    if scheme == SCHEME_INTERFERED:
+        return make_scheme3_system(options)
+    raise ValueError(f"unknown implementation scheme {scheme!r} (expected 1, 2 or 3)")
+
+
+def scheme_factory(scheme: int, *, seed: int = 0, use_extended_model: bool = False) -> SutFactory:
+    """A :class:`SutFactory` producing a fresh system per test-case execution."""
+
+    def factory():
+        return make_system(
+            scheme, PumpBuildOptions(seed=seed, use_extended_model=use_extended_model)
+        )
+
+    return factory
+
+
+def scheme_name(scheme: int) -> str:
+    """Human-readable scheme name used in reports and table headers."""
+    return {
+        SCHEME_SINGLE_THREADED: "Scheme 1 (single-threaded)",
+        SCHEME_MULTI_THREADED: "Scheme 2 (multi-threaded)",
+        SCHEME_INTERFERED: "Scheme 3 (multi-threaded + interference)",
+    }[scheme]

@@ -1,0 +1,123 @@
+"""Named test scenarios of the GPCA case study.
+
+Each scenario builds the R-test case (stimulus schedule) for one requirement.
+Scenarios that need the pump to be in a particular state first (e.g. the
+empty-reservoir requirements only make sense while an infusion is running)
+prepend the necessary *setup* stimuli; setup stimuli use different monitored
+variables than the requirement's stimulus, so they never influence the
+R-testing verdict — they only steer the system into the right state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.requirements import TimingRequirement
+from ..core.test_generation import RTestCase, RTestGenerator, Stimulus, TestGenerationConfig
+from ..platform.kernel.time import ms, seconds
+from .requirements import (
+    req1_bolus_start,
+    req2_empty_reservoir_alarm,
+    req3_empty_reservoir_stop,
+    req4_alarm_clear,
+)
+
+#: Spacing used between bolus requests so each one is accepted from Idle
+#: (bolus duration 4000 ms plus margin).
+BOLUS_SPACING_US = ms(4600)
+
+
+def bolus_request_test_case(
+    samples: int = 10,
+    *,
+    seed: int = 0,
+    requirement: Optional[TimingRequirement] = None,
+    randomized: bool = True,
+    start_offset_us: int = ms(150),
+) -> RTestCase:
+    """The Table I scenario: repeated bolus requests judged against REQ1.
+
+    ``start_offset_us`` delays the first request; runs against the extended
+    GPCA model must start after its 500 ms power-on self test, since a request
+    issued during the self test is ignored by the model (and therefore by a
+    conformant implementation).
+    """
+    requirement = requirement or req1_bolus_start()
+    config = TestGenerationConfig(
+        sample_count=samples,
+        start_offset_us=start_offset_us,
+        min_separation_us=BOLUS_SPACING_US,
+        max_separation_us=BOLUS_SPACING_US + ms(900),
+        seed=seed,
+    )
+    generator = RTestGenerator(requirement, config)
+    return generator.randomized(name="bolus-request") if randomized else generator.uniform(
+        name="bolus-request-uniform"
+    )
+
+
+def _empty_reservoir_case(requirement: TimingRequirement, samples: int) -> RTestCase:
+    """Shared schedule for the empty-reservoir requirements (REQ2 / REQ3).
+
+    Each sample is: request a bolus, then force the reservoir empty one second
+    into the infusion.  The bolus request is a setup stimulus; the measured
+    stimulus is the reservoir-empty m-event.  After the alarm, the caregiver
+    clears it so the next sample again starts from Idle.
+    """
+    stimuli: List[Stimulus] = []
+    cycle_us = seconds(8)
+    for index in range(samples):
+        base = ms(150) + index * cycle_us
+        stimuli.append(Stimulus(base, "m-BolusReq"))                      # setup
+        stimuli.append(Stimulus(base + seconds(1), "m-EmptyReservoir"))   # measured
+        stimuli.append(Stimulus(base + seconds(3), "m-ClearAlarm"))       # recovery
+        stimuli.append(Stimulus(base + seconds(4), "m-ReservoirRefill"))  # recovery
+    return RTestCase(
+        name=f"empty-reservoir-{requirement.requirement_id}",
+        requirement=requirement,
+        stimuli=tuple(stimuli),
+        description="reservoir empties mid-infusion; alarm and motor stop are timed",
+    )
+
+
+def empty_reservoir_alarm_test_case(samples: int = 5) -> RTestCase:
+    """REQ2 scenario: buzzer annunciation latency when the reservoir empties."""
+    return _empty_reservoir_case(req2_empty_reservoir_alarm(), samples)
+
+
+def empty_reservoir_stop_test_case(samples: int = 5) -> RTestCase:
+    """REQ3 scenario: motor stop latency when the reservoir empties."""
+    return _empty_reservoir_case(req3_empty_reservoir_stop(), samples)
+
+
+def alarm_clear_test_case(samples: int = 5) -> RTestCase:
+    """REQ4 scenario: buzzer silencing latency on caregiver acknowledgement.
+
+    Setup per sample: bolus request, reservoir empties (alarm starts), then the
+    measured clear-alarm press.
+    """
+    requirement = req4_alarm_clear()
+    stimuli: List[Stimulus] = []
+    cycle_us = seconds(8)
+    for index in range(samples):
+        base = ms(150) + index * cycle_us
+        stimuli.append(Stimulus(base, "m-BolusReq"))                      # setup
+        stimuli.append(Stimulus(base + seconds(1), "m-EmptyReservoir"))   # setup
+        stimuli.append(Stimulus(base + seconds(3), "m-ClearAlarm"))       # measured
+        stimuli.append(Stimulus(base + seconds(4), "m-ReservoirRefill"))  # recovery
+    return RTestCase(
+        name="alarm-clear",
+        requirement=requirement,
+        stimuli=tuple(stimuli),
+        description="caregiver clears the empty-reservoir alarm; silencing is timed",
+    )
+
+
+def all_requirement_test_cases(samples: int = 5, *, seed: int = 0) -> List[RTestCase]:
+    """One scenario per GPCA timing requirement (used by examples and tests)."""
+    return [
+        bolus_request_test_case(samples, seed=seed),
+        empty_reservoir_alarm_test_case(samples),
+        empty_reservoir_stop_test_case(samples),
+        alarm_clear_test_case(samples),
+    ]

@@ -1,0 +1,207 @@
+"""Common machinery shared by the three implementation schemes.
+
+An *implemented system* (Fig. 1-(3) of the paper) is CODE(M) plus the target
+platform plus the interfacing code that connects them.  The scheme classes in
+this package differ only in task topology; everything else — the platform
+bundle, the generated-code runtime, the execution-time accounting, the
+measurement probes and the m-event stimulus routing — lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..codegen.execution_model import ExecutionTimeModel
+from ..codegen.generator import GeneratedArtifacts
+from ..core.four_variables import FourVariableInterface, Trace, TraceRecorder
+from ..core.instrumentation import MeasurementProbes, ProbeConfiguration
+from ..core.sut import SystemUnderTest
+from ..core.test_generation import Stimulus
+from ..model.declarations import OutputWrite
+from ..platform.environment import PatientEnvironment, PumpHardware
+from ..platform.kernel.random import RandomSource
+from ..platform.kernel.simulator import Simulator
+from ..platform.kernel.time import US_PER_MODEL_TICK
+from ..platform.rtos.directives import Compute
+from ..platform.rtos.scheduler import RTOSScheduler
+from .interfacing import InputInterfacing, OutputInterfacing
+
+#: A callable that injects one m-event stimulus at an absolute platform time.
+StimulusAction = Callable[[int], None]
+
+
+@dataclass
+class PlatformBundle:
+    """Everything the integration layer needs from the platform and case study.
+
+    The case-study package (``repro.gpca``) builds one of these per run: the
+    simulator, the recorder, the concrete hardware and environment, the
+    four-variable interface declaration, the interfacing code and the mapping
+    from monitored variables to environment stimulus actions.
+    """
+
+    simulator: Simulator
+    recorder: TraceRecorder
+    hardware: PumpHardware
+    environment: PatientEnvironment
+    interface: FourVariableInterface
+    input_interfacing: InputInterfacing
+    output_interfacing: OutputInterfacing
+    stimulus_actions: Dict[str, StimulusAction] = field(default_factory=dict)
+
+
+@dataclass
+class SchemeConfig:
+    """Configuration shared by every implementation scheme."""
+
+    execution_model: ExecutionTimeModel = field(default_factory=ExecutionTimeModel)
+    probes: ProbeConfiguration = field(default_factory=ProbeConfiguration.m_level)
+    context_switch_us: int = 150
+    #: How many transitions one CODE(M) invocation may execute (None = run to
+    #: completion, the behaviour of a full generated step function).
+    transitions_per_cycle: Optional[int] = None
+    seed: int = 0
+
+
+class ImplementedSystem(SystemUnderTest):
+    """Base class of the three implementation schemes."""
+
+    scheme_name = "base"
+
+    def __init__(
+        self,
+        bundle: PlatformBundle,
+        artifacts: GeneratedArtifacts,
+        config: Optional[SchemeConfig] = None,
+    ) -> None:
+        self.bundle = bundle
+        self.artifacts = artifacts
+        self.config = config or SchemeConfig()
+        self.code = artifacts.new_instance()
+        self.scheduler = RTOSScheduler(
+            bundle.simulator, context_switch_us=self.config.context_switch_us
+        )
+        self.probes = MeasurementProbes(bundle.recorder, self.config.probes)
+        self.execution_model = self.config.execution_model
+        self._rng = RandomSource(self.config.seed).stream(f"exec:{self.scheme_name}")
+        self._code_clock_anchor_us = 0
+        self._built = False
+        self.name = self.scheme_name
+
+    # ------------------------------------------------------------------
+    # SystemUnderTest interface
+    # ------------------------------------------------------------------
+    @property
+    def interface(self) -> FourVariableInterface:
+        return self.bundle.interface
+
+    @property
+    def trace(self) -> Trace:
+        return self.bundle.recorder.trace
+
+    def apply_stimulus(self, stimulus: Stimulus) -> None:
+        action = self.bundle.stimulus_actions.get(stimulus.variable)
+        if action is None:
+            raise KeyError(
+                f"no environment action registered for monitored variable "
+                f"{stimulus.variable!r}"
+            )
+        action(stimulus.at_us)
+
+    def run(self, until_us: int) -> None:
+        if not self._built:
+            self.build()
+        self.bundle.simulator.run_until(until_us)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Create the scheme's tasks, start the device drivers and the scheduler."""
+        if self._built:
+            return
+        self._built = True
+        self.bundle.hardware.start()
+        self._create_tasks()
+        self.scheduler.start()
+
+    def _create_tasks(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # CODE(M) execution (shared by all schemes)
+    # ------------------------------------------------------------------
+    def _execute_code_cycle(
+        self,
+        pending_inputs: Sequence[Tuple[str, Any]],
+        transitions_limit: Optional[int],
+    ) -> Generator[Any, Any, List[OutputWrite]]:
+        """One invocation of CODE(M) as a directive-yielding sub-generator.
+
+        Latches the pending i-variable occurrences (recording the i-events),
+        advances the model clock by the platform time elapsed since the last
+        invocation, then executes up to ``transitions_limit`` transitions,
+        charging the execution-time model's CPU cost for each and recording
+        transition start/end probes plus o-events as the writes happen.
+
+        Returns the output writes performed so the calling scheme can route
+        them (directly to devices in scheme 1, to the actuation queue in
+        schemes 2 and 3).
+        """
+        for variable, value in pending_inputs:
+            self.code.set_input(variable, value)
+            self.probes.input_read(variable, value)
+        now = self.bundle.simulator.now
+        elapsed_us = now - self._code_clock_anchor_us
+        ticks = elapsed_us // US_PER_MODEL_TICK
+        if ticks > 0:
+            self.code.advance_clock(ticks)
+            self._code_clock_anchor_us += ticks * US_PER_MODEL_TICK
+
+        writes: List[OutputWrite] = []
+        fired = 0
+        while transitions_limit is None or fired < transitions_limit:
+            row = self.code.enabled_transition()
+            if row is None:
+                if fired == 0:
+                    yield Compute(
+                        self.execution_model.idle_scan_cost(self._rng), label="idle_scan"
+                    )
+                break
+            self.probes.transition_started(row.name)
+            yield Compute(
+                self.execution_model.transition_cost(row, self._rng), label=row.name
+            )
+            row_writes = self.code.fire(row)
+            self.probes.transition_finished(row.name)
+            for write in row_writes:
+                self.probes.output_written(write.variable, write.value)
+                writes.append(write)
+            fired += 1
+        if transitions_limit is None or fired < transitions_limit:
+            # The invocation reached quiescence: discard unconsumed input
+            # occurrences like the generated step function does.  When the
+            # per-cycle transition limit was hit, latched inputs are kept for
+            # the next invocation (the event has not been presented to the
+            # chart yet).
+            self.code.clear_inputs()
+        return writes
+
+    def _collect_inputs(self) -> List[Tuple[str, Any]]:
+        """Run the input interfacing code (zero simulated time; callers charge cost)."""
+        return self.bundle.input_interfacing.collect()
+
+    def _apply_outputs(self, writes: Sequence[OutputWrite]) -> int:
+        """Run the output interfacing code (zero simulated time; callers charge cost)."""
+        return self.bundle.output_interfacing.apply_all(writes)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def task_statistics(self) -> Dict[str, Any]:
+        """Per-task scheduler statistics, keyed by task name (for reports/tests)."""
+        return {task.name: task.stats for task in self.scheduler.tasks}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(scheme={self.scheme_name!r}, built={self._built})"

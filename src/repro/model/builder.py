@@ -1,0 +1,115 @@
+"""Fluent builder for timed statecharts.
+
+The builder keeps model definitions readable::
+
+    chart = (
+        StatechartBuilder("infusion_pump")
+        .input_events("i-BolusReq", "i-EmptyAlarm", "i-ClearAlarm")
+        .output_variable("o-MotorState", initial=0)
+        .output_variable("o-BuzzerState", initial=0)
+        .state("Idle", initial=True)
+        .state("BolusRequested")
+        .state("Infusion")
+        .state("EmptyAlarm")
+        .transition("t_request", "Idle", "BolusRequested", event="i-BolusReq")
+        .transition(
+            "t_start", "BolusRequested", "Infusion",
+            temporal=before(100), assign={"o-MotorState": 1},
+        )
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from .declarations import Assign, InputEvent, LocalVariable, OutputVariable
+from .statechart import GuardFn, State, Statechart, Transition
+from .temporal import TemporalTrigger
+
+
+class StatechartBuilder:
+    """Incrementally assembles a :class:`Statechart` and validates it on build."""
+
+    def __init__(self, name: str) -> None:
+        self._chart = Statechart(name)
+        self._transition_count = 0
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def input_event(self, name: str, description: str = "") -> "StatechartBuilder":
+        self._chart.add_input_event(InputEvent(name, description))
+        return self
+
+    def input_events(self, *names: str) -> "StatechartBuilder":
+        for name in names:
+            self.input_event(name)
+        return self
+
+    def output_variable(self, name: str, initial: Any = 0, description: str = "") -> "StatechartBuilder":
+        self._chart.add_output_variable(OutputVariable(name, initial, description))
+        return self
+
+    def local_variable(self, name: str, initial: Any = 0, description: str = "") -> "StatechartBuilder":
+        self._chart.add_local_variable(LocalVariable(name, initial, description))
+        return self
+
+    def state(self, name: str, initial: bool = False, description: str = "") -> "StatechartBuilder":
+        self._chart.add_state(State(name, description), initial=initial)
+        return self
+
+    def states(self, *names: str) -> "StatechartBuilder":
+        for name in names:
+            self.state(name)
+        return self
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def transition(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        *,
+        event: Optional[str] = None,
+        temporal: Optional[TemporalTrigger] = None,
+        guard: Optional[GuardFn] = None,
+        assign: Optional[Mapping[str, Any]] = None,
+        priority: Optional[int] = None,
+        description: str = "",
+    ) -> "StatechartBuilder":
+        """Add a transition.
+
+        ``assign`` maps variable names to values (or one-argument callables of
+        the local-variable map); entries become :class:`Assign` actions in
+        insertion order.  ``priority`` defaults to declaration order.
+        """
+        actions = tuple(Assign(variable, value) for variable, value in (assign or {}).items())
+        if priority is None:
+            priority = self._transition_count
+        self._transition_count += 1
+        self._chart.add_transition(
+            Transition(
+                name=name,
+                source=source,
+                target=target,
+                event=event,
+                temporal=temporal,
+                guard=guard,
+                actions=actions,
+                priority=priority,
+                description=description,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Statechart:
+        """Validate references and return the statechart."""
+        self._chart.check_references()
+        return self._chart

@@ -1,0 +1,115 @@
+"""Environment assumptions and model-level scenario generation.
+
+The paper composes the software model with an *environment model* before
+verification (Fig. 1-(1)).  We capture the environment as a set of assumptions
+on when input events may occur and provide a deterministic scenario generator
+that produces stimulus sequences respecting those assumptions.  The same
+assumptions parameterise R-test-case generation at the implementation level,
+so model-level and implementation-level experiments exercise comparable input
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..platform.kernel.random import RandomSource
+
+
+@dataclass(frozen=True)
+class EnvironmentAssumptions:
+    """Constraints on the environment's event behaviour.
+
+    ``min_separation_ticks`` — minimum distance between two consecutive input
+    events (of any kind); the GPCA scenarios use a separation longer than the
+    model's settle time so every bolus request is accepted from Idle.
+
+    ``event_min_gap_ticks`` — optional per-event minimum gap overriding the
+    global one (e.g. bolus requests cannot repeat faster than the lockout).
+    """
+
+    allowed_events: Tuple[str, ...]
+    min_separation_ticks: int = 1
+    event_min_gap_ticks: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.allowed_events:
+            raise ValueError("environment must allow at least one event")
+        if self.min_separation_ticks < 0:
+            raise ValueError("minimum separation must be non-negative")
+
+    def gap_for(self, event: str) -> int:
+        return max(self.min_separation_ticks, self.event_min_gap_ticks.get(event, 0))
+
+    def permits(self, schedule: Sequence[Tuple[int, str]]) -> bool:
+        """Check a ``(tick, event)`` schedule against the assumptions."""
+        last_any: Optional[int] = None
+        last_by_event: Dict[str, int] = {}
+        for tick, event in sorted(schedule, key=lambda item: item[0]):
+            if event not in self.allowed_events:
+                return False
+            if last_any is not None and tick - last_any < self.min_separation_ticks:
+                return False
+            per_event_gap = self.event_min_gap_ticks.get(event, 0)
+            previous = last_by_event.get(event)
+            if previous is not None and tick - previous < per_event_gap:
+                return False
+            last_any = tick
+            last_by_event[event] = tick
+        return True
+
+
+class ScenarioGenerator:
+    """Generates stimulus schedules respecting :class:`EnvironmentAssumptions`."""
+
+    def __init__(self, assumptions: EnvironmentAssumptions, randomness: Optional[RandomSource] = None) -> None:
+        self.assumptions = assumptions
+        self._randomness = randomness or RandomSource(0)
+
+    def periodic(self, event: str, count: int, period_ticks: int, start_tick: int = 0) -> List[Tuple[int, str]]:
+        """A fixed-period repetition of one event."""
+        if event not in self.assumptions.allowed_events:
+            raise ValueError(f"event {event!r} is not allowed by the environment assumptions")
+        if period_ticks < self.assumptions.gap_for(event):
+            raise ValueError(
+                f"period {period_ticks} violates the minimum gap "
+                f"{self.assumptions.gap_for(event)} for {event!r}"
+            )
+        return [(start_tick + index * period_ticks, event) for index in range(count)]
+
+    def randomized(
+        self,
+        event: str,
+        count: int,
+        min_gap_ticks: Optional[int] = None,
+        max_gap_ticks: Optional[int] = None,
+        start_tick: int = 0,
+        stream: str = "scenario",
+    ) -> List[Tuple[int, str]]:
+        """Random inter-arrival times within ``[min_gap, max_gap]`` (seeded)."""
+        if event not in self.assumptions.allowed_events:
+            raise ValueError(f"event {event!r} is not allowed by the environment assumptions")
+        floor = self.assumptions.gap_for(event)
+        low = max(floor, min_gap_ticks if min_gap_ticks is not None else floor)
+        high = max(low, max_gap_ticks if max_gap_ticks is not None else low * 2)
+        rng = self._randomness.stream(stream)
+        schedule: List[Tuple[int, str]] = []
+        tick = start_tick
+        for index in range(count):
+            if index > 0:
+                tick += rng.randint(low, high)
+            schedule.append((tick, event))
+        return schedule
+
+    def interleaved(
+        self, schedules: Sequence[Sequence[Tuple[int, str]]]
+    ) -> List[Tuple[int, str]]:
+        """Merge several schedules into one time-ordered schedule.
+
+        Raises :class:`ValueError` when the merge violates the assumptions.
+        """
+        merged = sorted((item for schedule in schedules for item in schedule), key=lambda i: i[0])
+        if not self.assumptions.permits(merged):
+            raise ValueError("interleaved schedule violates the environment assumptions")
+        return merged

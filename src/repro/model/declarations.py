@@ -1,0 +1,80 @@
+"""Declarations used by the timed statechart language.
+
+The modelling vocabulary mirrors what the paper's Stateflow fragment (Fig. 2)
+uses: *input events* read by the model (``i-BolusReq``, ``i-EmptyAlarm``,
+``i-ClearAlarm``), *output variables* written by it (``o-MotorState``,
+``o-BuzzerState``) and a millisecond model clock (``E_CLK``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+#: Name of the default model clock; the paper's Stateflow model counts E_CLK
+#: ticks of one millisecond.
+DEFAULT_CLOCK = "E_CLK"
+
+
+@dataclass(frozen=True)
+class InputEvent:
+    """An input event the model reacts to (an i-variable edge)."""
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("input event name must be non-empty")
+
+
+@dataclass(frozen=True)
+class OutputVariable:
+    """An output variable the model assigns (an o-variable)."""
+
+    name: str
+    initial: Any = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("output variable name must be non-empty")
+
+
+@dataclass(frozen=True)
+class LocalVariable:
+    """A model-local (data) variable usable in guards and actions."""
+
+    name: str
+    initial: Any = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("local variable name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Action assigning ``value`` to an output or local variable.
+
+    ``value`` may be a constant or a one-argument callable receiving the
+    current local-variable mapping (for computed assignments).
+    """
+
+    variable: str
+    value: Any
+
+    def evaluate(self, locals_map: dict) -> Any:
+        if callable(self.value):
+            return self.value(dict(locals_map))
+        return self.value
+
+
+@dataclass(frozen=True)
+class OutputWrite:
+    """A concrete output assignment produced while executing the model or CODE(M)."""
+
+    variable: str
+    value: Any

@@ -1,0 +1,112 @@
+"""Temporal transition triggers: ``after``, ``at`` and ``before``.
+
+The paper's Stateflow fragment uses two temporal operators on the millisecond
+clock ``E_CLK``:
+
+* ``At(4000, E_CLK)`` — the transition fires exactly when the source state has
+  been active for 4000 ticks (the bolus duration);
+* ``Before(100, E_CLK)`` — the transition fires at some instant no later than
+  100 ticks after entering the source state.  At the model level this is a
+  *nondeterministic* bound (it is what Simulink Design Verifier checks REQ1
+  against); generated code resolves it eagerly (fire at the first opportunity)
+  while the verifier explores every admissible firing instant up to the bound.
+
+We additionally provide ``After(n)`` (fire at the first opportunity once the
+state has been active at least ``n`` ticks), which the extended GPCA model
+uses for periodic housekeeping behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .declarations import DEFAULT_CLOCK
+
+
+@dataclass(frozen=True)
+class TemporalTrigger:
+    """Base class for temporal triggers; ``ticks`` is measured on ``clock``."""
+
+    ticks: int
+    clock: str = DEFAULT_CLOCK
+
+    def __post_init__(self) -> None:
+        if self.ticks < 0:
+            raise ValueError("temporal trigger bound must be non-negative")
+
+    # The three semantic questions the executor and verifier ask -----------
+    def may_fire(self, elapsed_ticks: int) -> bool:
+        """Is firing *allowed* after ``elapsed_ticks`` in the source state?"""
+        raise NotImplementedError
+
+    def must_fire(self, elapsed_ticks: int) -> bool:
+        """Is firing *forced* at ``elapsed_ticks`` (cannot be postponed further)?"""
+        raise NotImplementedError
+
+    def eager_fire(self, elapsed_ticks: int) -> bool:
+        """Does the deterministic (generated-code) semantics fire now?"""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class After(TemporalTrigger):
+    """Fire once the source state has been active for at least ``ticks``."""
+
+    def may_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks >= self.ticks
+
+    def must_fire(self, elapsed_ticks: int) -> bool:
+        # ``after`` alone never forces firing; pairing with ``before`` does.
+        return False
+
+    def eager_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks >= self.ticks
+
+
+@dataclass(frozen=True)
+class At(TemporalTrigger):
+    """Fire exactly when the source state has been active for ``ticks``."""
+
+    def may_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks >= self.ticks
+
+    def must_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks >= self.ticks
+
+    def eager_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks >= self.ticks
+
+
+@dataclass(frozen=True)
+class Before(TemporalTrigger):
+    """Fire at some instant no later than ``ticks`` after entering the state.
+
+    * Model semantics (verification): the firing instant is nondeterministic in
+      ``[0, ticks]``; firing becomes *forced* when the bound is reached.
+    * Generated-code semantics (execution): fire eagerly, i.e. at the first
+      scan after the state is entered.
+    """
+
+    def may_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks <= self.ticks
+
+    def must_fire(self, elapsed_ticks: int) -> bool:
+        return elapsed_ticks >= self.ticks
+
+    def eager_fire(self, elapsed_ticks: int) -> bool:
+        return True
+
+
+def after(ticks: int, clock: str = DEFAULT_CLOCK) -> After:
+    """Convenience constructor matching the Stateflow-like syntax."""
+    return After(ticks, clock)
+
+
+def at(ticks: int, clock: str = DEFAULT_CLOCK) -> At:
+    """Convenience constructor matching the Stateflow-like syntax."""
+    return At(ticks, clock)
+
+
+def before(ticks: int, clock: str = DEFAULT_CLOCK) -> Before:
+    """Convenience constructor matching the Stateflow-like syntax."""
+    return Before(ticks, clock)

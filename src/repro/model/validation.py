@@ -1,0 +1,187 @@
+"""Well-formedness validation of statecharts.
+
+The code generator refuses malformed charts; this module produces the findings
+it relies on, in a form a modeller can act on.  Findings are split into
+*errors* (the chart cannot be generated / verified meaningfully) and
+*warnings* (legal but suspicious constructs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from .statechart import Statechart, StatechartError
+from .temporal import At, Before
+from .verification import reachable_states
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"{self.severity.value.upper()} [{self.code}] {self.message}"
+
+
+def validate_statechart(chart: Statechart) -> List[Finding]:
+    """Return all validation findings for ``chart`` (empty list = clean)."""
+    findings: List[Finding] = []
+
+    try:
+        chart.check_references()
+    except StatechartError as exc:
+        findings.append(Finding(Severity.ERROR, "REF", str(exc)))
+        return findings
+
+    findings.extend(_check_transitions(chart))
+    findings.extend(_check_reachability(chart))
+    findings.extend(_check_usage(chart))
+    findings.extend(_check_determinism(chart))
+    return findings
+
+
+def assert_valid(chart: Statechart) -> List[Finding]:
+    """Validate and raise :class:`StatechartError` when any error finding exists.
+
+    Warnings are returned so callers can surface them.
+    """
+    findings = validate_statechart(chart)
+    errors = [finding for finding in findings if finding.severity is Severity.ERROR]
+    if errors:
+        details = "; ".join(str(error) for error in errors)
+        raise StatechartError(f"statechart {chart.name!r} is malformed: {details}")
+    return [finding for finding in findings if finding.severity is Severity.WARNING]
+
+
+# ----------------------------------------------------------------------
+# Individual checks
+# ----------------------------------------------------------------------
+def _check_transitions(chart: Statechart) -> List[Finding]:
+    findings: List[Finding] = []
+    for transition in chart.transitions:
+        if transition.event is not None and transition.temporal is not None:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "TRIGGER",
+                    f"transition {transition.name!r} has both an event and a temporal "
+                    "trigger; split it into two transitions",
+                )
+            )
+        if transition.event is None and transition.temporal is None:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "ALWAYS",
+                    f"transition {transition.name!r} has no trigger and will fire "
+                    "immediately whenever its guard holds",
+                )
+            )
+        if isinstance(transition.temporal, At) and transition.temporal.ticks == 0:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "AT0",
+                    f"transition {transition.name!r} uses at(0); it behaves like an "
+                    "immediate transition",
+                )
+            )
+        if isinstance(transition.temporal, Before) and transition.temporal.ticks == 0:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "BEFORE0",
+                    f"transition {transition.name!r} uses before(0); the bound allows "
+                    "no implementation latency at all",
+                )
+            )
+        if transition.source == transition.target and transition.temporal is None and transition.event is None:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    "SELFLOOP",
+                    f"transition {transition.name!r} is an untriggered self-loop "
+                    "(zero-time livelock)",
+                )
+            )
+    return findings
+
+
+def _check_reachability(chart: Statechart) -> List[Finding]:
+    findings: List[Finding] = []
+    reachable = set(reachable_states(chart))
+    for state in chart.state_names:
+        if state not in reachable:
+            findings.append(
+                Finding(Severity.WARNING, "UNREACHABLE", f"state {state!r} is unreachable")
+            )
+    for state in chart.state_names:
+        if not chart.transitions_from(state):
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "SINK",
+                    f"state {state!r} has no outgoing transitions (terminal state)",
+                )
+            )
+    return findings
+
+
+def _check_usage(chart: Statechart) -> List[Finding]:
+    findings: List[Finding] = []
+    used_events: Set[str] = {t.event for t in chart.transitions if t.event is not None}
+    for event in chart.input_events:
+        if event.name not in used_events:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "UNUSED_EVENT",
+                    f"input event {event.name!r} is never used by a transition",
+                )
+            )
+    assigned: Set[str] = set()
+    for transition in chart.transitions:
+        for action in transition.actions:
+            assigned.add(action.variable)
+    for variable in chart.output_variables:
+        if variable.name not in assigned:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "UNUSED_OUTPUT",
+                    f"output variable {variable.name!r} is never assigned",
+                )
+            )
+    return findings
+
+
+def _check_determinism(chart: Statechart) -> List[Finding]:
+    findings: List[Finding] = []
+    for state in chart.state_names:
+        by_event: Dict[str, int] = {}
+        for transition in chart.transitions_from(state):
+            if transition.event is None or transition.guard is not None:
+                continue
+            by_event[transition.event] = by_event.get(transition.event, 0) + 1
+        for event, count in by_event.items():
+            if count > 1:
+                findings.append(
+                    Finding(
+                        Severity.WARNING,
+                        "NONDET",
+                        f"state {state!r} has {count} unguarded transitions on event "
+                        f"{event!r}; only the highest-priority one can ever fire",
+                    )
+                )
+    return findings

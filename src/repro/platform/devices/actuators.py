@@ -1,0 +1,95 @@
+"""Concrete actuators of the simulated infusion-pump platform.
+
+Default actuation latencies approximate a motor-driver chain (a few
+milliseconds for the pump motor to spin up to its commanded speed) and
+near-instant annunciators (buzzer, LED).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...core.four_variables import TraceRecorder
+from ..kernel.random import JitterModel, uniform
+from ..kernel.simulator import Simulator
+from ..kernel.time import ms, us
+from .device import OutputDevice
+
+
+class PumpMotor(OutputDevice):
+    """The syringe pump motor (c-PumpMotor).
+
+    The controlled variable is the motor speed level (0 = stopped).  The
+    c-BolusStart event of requirement REQ1 is the change of this variable from
+    zero to a positive speed.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        controlled_variable: str = "c-PumpMotor",
+        actuation_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "pump_motor",
+            controlled_variable,
+            simulator,
+            recorder,
+            actuation_latency=actuation_latency or uniform(ms(3), ms(1)),
+            initial_value=0,
+            rng=rng,
+        )
+
+    @property
+    def running(self) -> bool:
+        """True while the motor is physically turning."""
+        return bool(self.physical_value)
+
+
+class Buzzer(OutputDevice):
+    """The audible alarm annunciator (c-Buzzer)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        controlled_variable: str = "c-Buzzer",
+        actuation_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "buzzer",
+            controlled_variable,
+            simulator,
+            recorder,
+            actuation_latency=actuation_latency or uniform(us(800), us(200)),
+            initial_value=0,
+            rng=rng,
+        )
+
+
+class AlarmLed(OutputDevice):
+    """The visual alarm annunciator (c-AlarmLed)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        controlled_variable: str = "c-AlarmLed",
+        actuation_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "alarm_led",
+            controlled_variable,
+            simulator,
+            recorder,
+            actuation_latency=actuation_latency or uniform(us(500), us(100)),
+            initial_value=0,
+            rng=rng,
+        )

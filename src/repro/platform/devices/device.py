@@ -1,0 +1,288 @@
+"""Input-Device and Output-Device base classes.
+
+In the paper's four-variable mapping the Input-Device converts m-events
+(physical changes at the platform boundary) into values the generated code can
+read as i-variables, and the Output-Device converts o-variable writes into
+c-events (physical changes enforced by actuators).
+
+The devices here model the *platform side* of that conversion:
+
+* an input device samples its physical line periodically (sensor + driver) and
+  latches detections into a driver buffer with a conversion latency;
+* an output device applies writes after an actuation latency and only then
+  makes the change physically visible (the c-event).
+
+The devices record M and C events into the shared :class:`TraceRecorder`; the
+I and O events are recorded by the integration layer because, per the paper,
+the i-event is "when CODE(M) reads the input" and the o-event is "when
+CODE(M) writes the output".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ...core.four_variables import TraceRecorder
+from ..kernel.random import JitterModel, constant
+from ..kernel.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class DeviceEvent:
+    """An input change detected by a device driver, ready to be read by software."""
+
+    value: Any
+    physical_timestamp_us: int
+    detected_timestamp_us: int
+
+
+class Device:
+    """Common plumbing for simulated devices."""
+
+    def __init__(self, name: str, simulator: Simulator, recorder: TraceRecorder) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.recorder = recorder
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class EventInputDevice(Device):
+    """An edge-triggered input device (e.g. a push button).
+
+    The physical environment calls :meth:`trigger` when the button is pressed;
+    this is the m-event.  The device driver samples the (latched) line every
+    ``sampling_period_us``; when it finds a pending edge, it converts it after
+    ``conversion_latency`` into a :class:`DeviceEvent` in the driver buffer.
+    Software reads the buffer with :meth:`poll`.
+
+    The latch guarantees no edge is lost even if the pulse is shorter than the
+    sampling period — this mirrors interrupt-flag-style button handling and
+    keeps test scenarios free of sporadic missed inputs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitored_variable: str,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        sampling_period_us: int,
+        sampling_offset_us: int = 0,
+        conversion_latency: Optional[JitterModel] = None,
+        buffer_capacity: int = 16,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(name, simulator, recorder)
+        if sampling_period_us <= 0:
+            raise ValueError("sampling period must be positive")
+        self.monitored_variable = monitored_variable
+        self.sampling_period_us = sampling_period_us
+        self.sampling_offset_us = sampling_offset_us
+        self.conversion_latency = conversion_latency or constant(0)
+        self.buffer_capacity = buffer_capacity
+        self._rng = rng
+        self._pending_edges: List[DeviceEvent] = []
+        self._buffer: List[DeviceEvent] = []
+        self._line_state = False
+        self.missed_events = 0
+        self._sampling_started = False
+
+    # ------------------------------------------------------------------
+    # Physical side (called by the environment)
+    # ------------------------------------------------------------------
+    def trigger(self, value: Any = True) -> None:
+        """Apply a physical edge (the m-event) to the device line."""
+        now = self.simulator.now
+        self._line_state = bool(value)
+        self.recorder.record_m(self.monitored_variable, value, device=self.name)
+        self._pending_edges.append(DeviceEvent(value, now, now))
+
+    def release(self) -> None:
+        """Return the physical line to its inactive state (not an m-event of interest)."""
+        self._line_state = False
+
+    @property
+    def line_state(self) -> bool:
+        return self._line_state
+
+    # ------------------------------------------------------------------
+    # Driver side
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic sampling of the line (idempotent)."""
+        if self._sampling_started:
+            return
+        self._sampling_started = True
+        self.simulator.schedule(
+            self.sampling_offset_us, self._sample, label=f"sample:{self.name}"
+        )
+
+    def _sample(self) -> None:
+        now = self.simulator.now
+        if self._pending_edges:
+            latency = self.conversion_latency.sample(self._rng)
+            self.simulator.schedule(
+                latency,
+                lambda edges=list(self._pending_edges): self._latch(edges),
+                label=f"latch:{self.name}",
+            )
+            self._pending_edges.clear()
+        self.simulator.schedule(self.sampling_period_us, self._sample, label=f"sample:{self.name}")
+
+    def _latch(self, edges: List[DeviceEvent]) -> None:
+        now = self.simulator.now
+        for edge in edges:
+            if len(self._buffer) >= self.buffer_capacity:
+                self.missed_events += 1
+                continue
+            self._buffer.append(DeviceEvent(edge.value, edge.physical_timestamp_us, now))
+
+    # ------------------------------------------------------------------
+    # Software side (called by tasks / interfacing code)
+    # ------------------------------------------------------------------
+    def poll(self) -> List[DeviceEvent]:
+        """Drain and return all detected events (oldest first)."""
+        events, self._buffer = self._buffer, []
+        return events
+
+    @property
+    def pending_count(self) -> int:
+        """Number of detected events waiting to be polled."""
+        return len(self._buffer)
+
+
+class StateInputDevice(Device):
+    """A level-style input device (e.g. a reservoir level sensor).
+
+    The environment sets a continuous physical value; the driver samples it
+    periodically into a latched register that software reads with :meth:`read`.
+    A change of the physical value is the m-event.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitored_variable: str,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        sampling_period_us: int,
+        sampling_offset_us: int = 0,
+        conversion_latency: Optional[JitterModel] = None,
+        initial_value: Any = False,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(name, simulator, recorder)
+        if sampling_period_us <= 0:
+            raise ValueError("sampling period must be positive")
+        self.monitored_variable = monitored_variable
+        self.sampling_period_us = sampling_period_us
+        self.sampling_offset_us = sampling_offset_us
+        self.conversion_latency = conversion_latency or constant(0)
+        self._rng = rng
+        self._physical_value = initial_value
+        self._latched_value = initial_value
+        self._sampling_started = False
+
+    # Physical side -----------------------------------------------------
+    def set_physical(self, value: Any) -> None:
+        """Change the physical quantity observed by the sensor (an m-event)."""
+        if value == self._physical_value:
+            return
+        self._physical_value = value
+        self.recorder.record_m(self.monitored_variable, value, device=self.name)
+
+    @property
+    def physical_value(self) -> Any:
+        return self._physical_value
+
+    # Driver side --------------------------------------------------------
+    def start(self) -> None:
+        if self._sampling_started:
+            return
+        self._sampling_started = True
+        self.simulator.schedule(self.sampling_offset_us, self._sample, label=f"sample:{self.name}")
+
+    def _sample(self) -> None:
+        value = self._physical_value
+        latency = self.conversion_latency.sample(self._rng)
+        self.simulator.schedule(
+            latency, lambda v=value: self._latch(v), label=f"latch:{self.name}"
+        )
+        self.simulator.schedule(self.sampling_period_us, self._sample, label=f"sample:{self.name}")
+
+    def _latch(self, value: Any) -> None:
+        self._latched_value = value
+
+    # Software side -------------------------------------------------------
+    def read(self) -> Any:
+        """Return the most recently latched sample."""
+        return self._latched_value
+
+
+class OutputDevice(Device):
+    """An actuator with its device driver (e.g. the pump motor).
+
+    Software calls :meth:`write`; after ``actuation_latency`` the value becomes
+    physically effective and the c-event is recorded.  Writes of an unchanged
+    value do not produce c-events (the paper's c-events are value *changes*).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        controlled_variable: str,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        actuation_latency: Optional[JitterModel] = None,
+        initial_value: Any = 0,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(name, simulator, recorder)
+        self.controlled_variable = controlled_variable
+        self.actuation_latency = actuation_latency or constant(0)
+        self._rng = rng
+        self._physical_value = initial_value
+        self._commanded_value = initial_value
+        self.writes = 0
+        self._observers: List[Any] = []
+
+    # Software side -------------------------------------------------------
+    def write(self, value: Any) -> None:
+        """Command a new actuator value (driver + hardware apply it after latency)."""
+        self.writes += 1
+        self._commanded_value = value
+        latency = self.actuation_latency.sample(self._rng)
+        self.simulator.schedule(latency, lambda v=value: self._apply(v), label=f"actuate:{self.name}")
+
+    # Physical side -------------------------------------------------------
+    def _apply(self, value: Any) -> None:
+        if value == self._physical_value:
+            return
+        self._physical_value = value
+        self.recorder.record_c(self.controlled_variable, value, device=self.name)
+        for observer in self._observers:
+            observer(value, self.simulator.now)
+
+    @property
+    def physical_value(self) -> Any:
+        """The value currently enforced on the physical environment."""
+        return self._physical_value
+
+    @property
+    def commanded_value(self) -> Any:
+        """The most recently commanded (but possibly not yet applied) value."""
+        return self._commanded_value
+
+    def add_observer(self, callback: Any) -> None:
+        """Register ``callback(value, timestamp_us)`` invoked on physical changes.
+
+        The physical environment uses this to close the loop (e.g. deplete the
+        reservoir while the motor runs).
+        """
+        self._observers.append(callback)

@@ -1,0 +1,147 @@
+"""Concrete sensors of the simulated infusion-pump platform.
+
+Each sensor is a thin configuration of the generic input-device classes with
+defaults approximating the hardware the paper used (a Baxter PCA syringe pump
+interfaced to an ARM7 micro-controller).  The defaults are deliberately
+conservative: a few milliseconds of sampling period and sub-millisecond
+conversion latency, so that the dominant contributors to Input-Delay are the
+software polling periods of the implementation schemes — matching the paper's
+narrative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...core.four_variables import TraceRecorder
+from ..kernel.random import JitterModel, uniform
+from ..kernel.simulator import Simulator
+from ..kernel.time import ms, us
+from .device import EventInputDevice, StateInputDevice
+
+
+class BolusRequestButton(EventInputDevice):
+    """The patient's bolus-request button (m-BolusReq)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        monitored_variable: str = "m-BolusReq",
+        sampling_period_us: int = ms(2),
+        conversion_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "bolus_button",
+            monitored_variable,
+            simulator,
+            recorder,
+            sampling_period_us=sampling_period_us,
+            conversion_latency=conversion_latency or uniform(us(300), us(100)),
+            rng=rng,
+        )
+
+
+class ClearAlarmButton(EventInputDevice):
+    """The caregiver's clear-alarm button (m-ClearAlarm)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        monitored_variable: str = "m-ClearAlarm",
+        sampling_period_us: int = ms(5),
+        conversion_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "clear_alarm_button",
+            monitored_variable,
+            simulator,
+            recorder,
+            sampling_period_us=sampling_period_us,
+            conversion_latency=conversion_latency or uniform(us(300), us(100)),
+            rng=rng,
+        )
+
+
+class ReservoirLevelSensor(StateInputDevice):
+    """Detects an empty drug reservoir (m-EmptyReservoir).
+
+    The physical value is ``True`` when the reservoir is empty.  The
+    environment model drives it from the delivered volume.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        monitored_variable: str = "m-EmptyReservoir",
+        sampling_period_us: int = ms(10),
+        conversion_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "reservoir_level_sensor",
+            monitored_variable,
+            simulator,
+            recorder,
+            sampling_period_us=sampling_period_us,
+            conversion_latency=conversion_latency or uniform(us(500), us(200)),
+            initial_value=False,
+            rng=rng,
+        )
+
+
+class OcclusionSensor(StateInputDevice):
+    """Detects a downstream occlusion in the intravenous line (m-Occlusion)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        monitored_variable: str = "m-Occlusion",
+        sampling_period_us: int = ms(10),
+        conversion_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "occlusion_sensor",
+            monitored_variable,
+            simulator,
+            recorder,
+            sampling_period_us=sampling_period_us,
+            conversion_latency=conversion_latency or uniform(us(500), us(200)),
+            initial_value=False,
+            rng=rng,
+        )
+
+
+class DoorSensor(StateInputDevice):
+    """Detects that the pump door / syringe holder is open (m-DoorOpen)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        monitored_variable: str = "m-DoorOpen",
+        sampling_period_us: int = ms(20),
+        conversion_latency: Optional[JitterModel] = None,
+        rng: Any = None,
+    ) -> None:
+        super().__init__(
+            "door_sensor",
+            monitored_variable,
+            simulator,
+            recorder,
+            sampling_period_us=sampling_period_us,
+            conversion_latency=conversion_latency or uniform(us(500), us(200)),
+            initial_value=False,
+            rng=rng,
+        )

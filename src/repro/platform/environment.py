@@ -1,0 +1,217 @@
+"""Physical environment model: the patient, syringe and caregiver.
+
+The environment is the source of every m-event and the sink of every c-event.
+For the timing-testing framework it plays two roles:
+
+* **Stimulus injection** — R-test cases are sequences of m-events (bolus
+  request button presses, reservoir depletion, occlusions); the environment
+  schedules them on the simulator and applies them to the input devices,
+  which records the m-event timestamps.
+* **Closed-loop dynamics** — while the pump motor physically runs, drug volume
+  is delivered and the reservoir drains; when the reservoir empties, the level
+  sensor's physical value changes.  This gives the extended GPCA scenarios
+  (empty-reservoir alarm, occlusion alarm) a physically meaningful trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.four_variables import TraceRecorder
+from .devices.actuators import AlarmLed, Buzzer, PumpMotor
+from .devices.device import EventInputDevice, StateInputDevice
+from .devices.sensors import (
+    BolusRequestButton,
+    ClearAlarmButton,
+    DoorSensor,
+    OcclusionSensor,
+    ReservoirLevelSensor,
+)
+from .kernel.random import RandomSource
+from .kernel.simulator import Simulator
+from .kernel.time import ms, seconds
+
+
+@dataclass
+class ReservoirModel:
+    """A simple drug reservoir drained by the running pump motor."""
+
+    volume_ml: float = 100.0
+    #: Delivery rate per motor speed unit, in ml per second.
+    ml_per_second_per_speed: float = 0.05
+
+    def drain(self, speed: float, duration_s: float) -> float:
+        """Remove volume for running at ``speed`` for ``duration_s`` seconds.
+
+        Returns the volume actually delivered (bounded by what remains).
+        """
+        requested = speed * self.ml_per_second_per_speed * duration_s
+        delivered = min(requested, self.volume_ml)
+        self.volume_ml -= delivered
+        return delivered
+
+    @property
+    def empty(self) -> bool:
+        return self.volume_ml <= 1e-9
+
+
+@dataclass
+class DeliveryRecord:
+    """A contiguous interval during which the motor physically ran."""
+
+    start_us: int
+    end_us: Optional[int] = None
+    speed: float = 0.0
+    delivered_ml: float = 0.0
+
+
+class PumpHardware:
+    """The collection of devices making up the simulated pump platform."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        *,
+        randomness: Optional[RandomSource] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.recorder = recorder
+        randomness = randomness or RandomSource(0)
+        self.bolus_button = BolusRequestButton(
+            simulator, recorder, rng=randomness.stream("bolus_button")
+        )
+        self.clear_alarm_button = ClearAlarmButton(
+            simulator, recorder, rng=randomness.stream("clear_alarm_button")
+        )
+        self.reservoir_sensor = ReservoirLevelSensor(
+            simulator, recorder, rng=randomness.stream("reservoir_sensor")
+        )
+        self.occlusion_sensor = OcclusionSensor(
+            simulator, recorder, rng=randomness.stream("occlusion_sensor")
+        )
+        self.door_sensor = DoorSensor(simulator, recorder, rng=randomness.stream("door_sensor"))
+        self.pump_motor = PumpMotor(simulator, recorder, rng=randomness.stream("pump_motor"))
+        self.buzzer = Buzzer(simulator, recorder, rng=randomness.stream("buzzer"))
+        self.alarm_led = AlarmLed(simulator, recorder, rng=randomness.stream("alarm_led"))
+
+    @property
+    def input_devices(self) -> List[object]:
+        return [
+            self.bolus_button,
+            self.clear_alarm_button,
+            self.reservoir_sensor,
+            self.occlusion_sensor,
+            self.door_sensor,
+        ]
+
+    @property
+    def output_devices(self) -> List[object]:
+        return [self.pump_motor, self.buzzer, self.alarm_led]
+
+    def start(self) -> None:
+        """Start every device driver's sampling process."""
+        for device in self.input_devices:
+            device.start()
+
+
+class PatientEnvironment:
+    """The patient / caregiver / syringe environment driving the hardware."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        hardware: PumpHardware,
+        *,
+        reservoir: Optional[ReservoirModel] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.hardware = hardware
+        self.reservoir = reservoir or ReservoirModel()
+        self.deliveries: List[DeliveryRecord] = []
+        self.scheduled_stimuli: List[Dict[str, object]] = []
+        self._active_delivery: Optional[DeliveryRecord] = None
+        hardware.pump_motor.add_observer(self._on_motor_change)
+
+    # ------------------------------------------------------------------
+    # Stimulus injection
+    # ------------------------------------------------------------------
+    def schedule_bolus_request(self, at_us: int) -> None:
+        """Press the bolus-request button at absolute time ``at_us``."""
+        self._schedule_trigger(self.hardware.bolus_button, at_us, "bolus_request")
+
+    def schedule_clear_alarm(self, at_us: int) -> None:
+        """Press the clear-alarm button at absolute time ``at_us``."""
+        self._schedule_trigger(self.hardware.clear_alarm_button, at_us, "clear_alarm")
+
+    def schedule_occlusion(self, at_us: int, present: bool = True) -> None:
+        """Create (or clear) a line occlusion at ``at_us``."""
+        self.scheduled_stimuli.append({"kind": "occlusion", "at_us": at_us, "value": present})
+        self.simulator.schedule_at(
+            at_us,
+            lambda: self.hardware.occlusion_sensor.set_physical(present),
+            label="env:occlusion",
+        )
+
+    def schedule_door_open(self, at_us: int, open_: bool = True) -> None:
+        """Open (or close) the pump door at ``at_us``."""
+        self.scheduled_stimuli.append({"kind": "door", "at_us": at_us, "value": open_})
+        self.simulator.schedule_at(
+            at_us,
+            lambda: self.hardware.door_sensor.set_physical(open_),
+            label="env:door",
+        )
+
+    def schedule_reservoir_empty(self, at_us: int) -> None:
+        """Force the reservoir to read empty at ``at_us`` (caregiver removed syringe)."""
+        self.scheduled_stimuli.append({"kind": "reservoir_empty", "at_us": at_us, "value": True})
+
+        def make_empty() -> None:
+            self.reservoir.volume_ml = 0.0
+            self.hardware.reservoir_sensor.set_physical(True)
+
+        self.simulator.schedule_at(at_us, make_empty, label="env:reservoir_empty")
+
+    def schedule_reservoir_refill(self, at_us: int, volume_ml: float = 100.0) -> None:
+        """Replace the syringe at ``at_us`` (reservoir refilled, empty condition cleared)."""
+        self.scheduled_stimuli.append({"kind": "reservoir_refill", "at_us": at_us, "value": volume_ml})
+
+        def refill() -> None:
+            self.reservoir.volume_ml = volume_ml
+            self.hardware.reservoir_sensor.set_physical(False)
+
+        self.simulator.schedule_at(at_us, refill, label="env:reservoir_refill")
+
+    def _schedule_trigger(self, device: EventInputDevice, at_us: int, kind: str) -> None:
+        self.scheduled_stimuli.append({"kind": kind, "at_us": at_us, "value": True})
+        self.simulator.schedule_at(at_us, lambda: device.trigger(True), label=f"env:{kind}")
+        # The button is released shortly after; the release is not an m-event
+        # of interest for the GPCA requirements.
+        self.simulator.schedule_at(at_us + ms(50), device.release, label=f"env:{kind}:release")
+
+    # ------------------------------------------------------------------
+    # Closed-loop dynamics
+    # ------------------------------------------------------------------
+    def _on_motor_change(self, value: float, timestamp_us: int) -> None:
+        if value and self._active_delivery is None:
+            self._active_delivery = DeliveryRecord(start_us=timestamp_us, speed=float(value))
+        elif not value and self._active_delivery is not None:
+            record = self._active_delivery
+            record.end_us = timestamp_us
+            duration_s = (timestamp_us - record.start_us) / 1_000_000
+            record.delivered_ml = self.reservoir.drain(record.speed, duration_s)
+            self.deliveries.append(record)
+            self._active_delivery = None
+            if self.reservoir.empty:
+                self.hardware.reservoir_sensor.set_physical(True)
+
+    @property
+    def total_delivered_ml(self) -> float:
+        """Total drug volume physically delivered so far (completed runs only)."""
+        return sum(record.delivered_ml for record in self.deliveries)
+
+    @property
+    def bolus_count(self) -> int:
+        """Number of completed motor-run intervals."""
+        return len(self.deliveries)

@@ -1,0 +1,98 @@
+"""Deterministic randomness for the platform simulator.
+
+Every stochastic element of the simulated platform (execution-time jitter,
+sensor noise, interference bursts, test-case inter-arrival times) draws from a
+named stream derived from a single seed.  Re-running a scenario with the same
+seed reproduces the exact same event timeline, which keeps the unit tests and
+the benchmark harness deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+class RandomSource:
+    """A seeded factory of independent named random streams.
+
+    Streams are derived from ``(seed, name)`` via SHA-256 so that adding a new
+    stream never perturbs the values drawn by existing ones.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return an independent :class:`random.Random` for ``name``."""
+        digest = hashlib.sha256(f"{self._seed}:{name}".encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def fork(self, name: str) -> "RandomSource":
+        """Derive a child source, useful when handing randomness to a subsystem."""
+        digest = hashlib.sha256(f"{self._seed}:fork:{name}".encode("utf-8")).digest()
+        return RandomSource(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """A bounded execution-time / latency jitter model.
+
+    The drawn value is ``nominal_us`` plus a uniformly distributed jitter in
+    ``[-minus_us, +plus_us]``, clamped to be non-negative.  A ``None`` stream
+    (or zero bounds) makes the model deterministic, which several unit tests
+    rely on.
+    """
+
+    nominal_us: int
+    plus_us: int = 0
+    minus_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nominal_us < 0:
+            raise ValueError("nominal duration must be non-negative")
+        if self.plus_us < 0 or self.minus_us < 0:
+            raise ValueError("jitter bounds must be non-negative")
+
+    def sample(self, rng: Optional[random.Random] = None) -> int:
+        """Draw one duration in microseconds."""
+        if rng is None or (self.plus_us == 0 and self.minus_us == 0):
+            return self.nominal_us
+        jitter = rng.randint(-self.minus_us, self.plus_us)
+        return max(0, self.nominal_us + jitter)
+
+    @property
+    def worst_case_us(self) -> int:
+        """Largest value :meth:`sample` can return."""
+        return self.nominal_us + self.plus_us
+
+    @property
+    def best_case_us(self) -> int:
+        """Smallest value :meth:`sample` can return."""
+        return max(0, self.nominal_us - self.minus_us)
+
+    def scaled(self, factor: float) -> "JitterModel":
+        """Return a copy with all durations scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return JitterModel(
+            nominal_us=int(round(self.nominal_us * factor)),
+            plus_us=int(round(self.plus_us * factor)),
+            minus_us=int(round(self.minus_us * factor)),
+        )
+
+
+def constant(duration_us: int) -> JitterModel:
+    """Shorthand for a deterministic duration."""
+    return JitterModel(nominal_us=duration_us)
+
+
+def uniform(nominal_us: int, spread_us: int) -> JitterModel:
+    """Shorthand for a symmetric uniform jitter of ``±spread_us``."""
+    return JitterModel(nominal_us=nominal_us, plus_us=spread_us, minus_us=spread_us)

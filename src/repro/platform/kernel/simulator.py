@@ -1,0 +1,221 @@
+"""Discrete-event simulation kernel.
+
+The kernel is intentionally small: an event queue ordered by ``(time, priority,
+sequence)`` plus a simulated clock.  Everything else in the platform package —
+the RTOS scheduler, device drivers, the physical environment — is written as
+callbacks scheduled on this kernel.
+
+The kernel guarantees:
+
+* events fire in non-decreasing time order;
+* events scheduled for the same instant fire in ascending ``priority`` then
+  insertion order (FIFO), which makes simultaneous hardware/OS interactions
+  deterministic;
+* a cancelled event never fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .time import SimClock, format_us
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running a broken queue)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time_us: int
+    priority: int
+    sequence: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event; supports cancellation and inspection."""
+
+    __slots__ = ("time_us", "priority", "callback", "label", "_cancelled", "_fired")
+
+    def __init__(self, time_us: int, priority: int, callback: Callable[[], None], label: str) -> None:
+        self.time_us = time_us
+        self.priority = priority
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is harmless."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True when the event is still scheduled to fire."""
+        return not self._cancelled and not self._fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"EventHandle({self.label!r} @ {format_us(self.time_us)}, {state})"
+
+
+class Simulator:
+    """The discrete-event simulator.
+
+    Components schedule zero-argument callbacks at absolute or relative times
+    and the simulator dispatches them in time order.  The simulator never
+    advances past the time of the last processed event.
+    """
+
+    def __init__(self, start_us: int = 0) -> None:
+        self._clock = SimClock(start_us)
+        self._queue: List[_QueueEntry] = []
+        self._sequence = 0
+        self._processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events dispatched so far (diagnostic)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for entry in self._queue if entry.handle.pending)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time_us: int,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated time ``time_us``.
+
+        ``priority`` breaks ties between events at the same instant (lower
+        fires first).  Scheduling in the past raises :class:`SimulationError`.
+        """
+        if time_us < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {format_us(time_us)} "
+                f"in the past (now={format_us(self._clock.now)})"
+            )
+        handle = EventHandle(time_us, priority, callback, label)
+        entry = _QueueEntry(time_us, priority, self._sequence, handle)
+        self._sequence += 1
+        heapq.heappush(self._queue, entry)
+        return handle
+
+    def schedule(
+        self,
+        delay_us: int,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative delay (``delay_us`` >= 0)."""
+        if delay_us < 0:
+            raise SimulationError(f"negative delay {delay_us} for event {label!r}")
+        return self.schedule_at(self._clock.now + delay_us, callback, priority=priority, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the currently running :meth:`run_until` / :meth:`run` to stop
+        after the event being processed returns."""
+        self._stop_requested = True
+
+    def step(self) -> bool:
+        """Dispatch the single next pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._clock.advance_to(entry.time_us)
+            handle._fired = True
+            self._processed += 1
+            handle.callback()
+            return True
+        return False
+
+    def run_until(self, time_us: int) -> None:
+        """Run events up to and including ``time_us`` and advance the clock there.
+
+        Events scheduled exactly at ``time_us`` are dispatched.  The clock ends
+        at ``time_us`` even if the queue drains earlier, so periodic activities
+        resumed later see a consistent notion of "now".
+        """
+        if time_us < self._clock.now:
+            raise SimulationError(
+                f"run_until target {format_us(time_us)} is in the past "
+                f"(now={format_us(self._clock.now)})"
+            )
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._queue and not self._stop_requested:
+                entry = self._queue[0]
+                if entry.handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if entry.time_us > time_us:
+                    break
+                self.step()
+            if not self._stop_requested and self._clock.now < time_us:
+                self._clock.advance_to(time_us)
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Run until the event queue drains or ``max_events`` fire."""
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        try:
+            while not self._stop_requested:
+                if fired >= max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; likely a livelock"
+                    )
+                if not self.step():
+                    break
+                fired += 1
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={format_us(self.now)}, pending={self.pending_events}, "
+            f"processed={self._processed})"
+        )

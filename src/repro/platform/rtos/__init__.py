@@ -1,0 +1,34 @@
+"""FreeRTOS-like real-time operating system model.
+
+Provides a single-core fixed-priority preemptive scheduler, periodic and
+aperiodic tasks written as directive-yielding generators, bounded FIFO message
+queues and counting semaphores.  See :mod:`repro.platform.rtos.scheduler` for
+the scheduling semantics.
+"""
+
+from .directives import Compute, Delay, Give, Receive, Send, Take
+from .queue import MessageQueue, QueuedMessage, QueueStats
+from .scheduler import RTOSScheduler, SchedulerError
+from .semaphore import Semaphore, make_binary_semaphore, make_mutex
+from .task import Job, Task, TaskState, TaskStats
+
+__all__ = [
+    "Compute",
+    "Delay",
+    "Give",
+    "Job",
+    "MessageQueue",
+    "QueueStats",
+    "QueuedMessage",
+    "RTOSScheduler",
+    "Receive",
+    "SchedulerError",
+    "Semaphore",
+    "Send",
+    "Take",
+    "Task",
+    "TaskState",
+    "TaskStats",
+    "make_binary_semaphore",
+    "make_mutex",
+]

@@ -1,0 +1,458 @@
+"""Preemptive fixed-priority scheduler (FreeRTOS-like) on the DES kernel.
+
+The scheduler implements the subset of RTOS behaviour the paper's three
+implementation schemes rely on:
+
+* periodic task releases with offsets;
+* fixed-priority preemptive scheduling (larger number = higher priority,
+  FreeRTOS convention);
+* FIFO ordering among equal-priority ready tasks;
+* blocking and non-blocking FIFO-queue receive and semaphore take;
+* optional context-switch overhead.
+
+Task bodies are generators yielding :mod:`repro.platform.rtos.directives`;
+plain Python between yields executes in zero simulated time, so *all* CPU time
+consumed by a task is explicit in its ``Compute`` segments.  That property is
+what lets the M-testing layer attribute wall-clock delays to scheduling
+effects rather than to hidden modelling artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..kernel.simulator import Simulator
+from .directives import Compute, Delay, Give, Receive, Send, Take
+from .queue import MessageQueue
+from .semaphore import Semaphore
+from .task import Job, Task, TaskState
+
+
+class SchedulerError(RuntimeError):
+    """Raised on scheduler misuse (duplicate task names, bad directives, ...)."""
+
+
+class RTOSScheduler:
+    """A single-core fixed-priority preemptive scheduler."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        context_switch_us: int = 0,
+        name: str = "rtos",
+    ) -> None:
+        if context_switch_us < 0:
+            raise ValueError("context switch overhead must be non-negative")
+        self.simulator = simulator
+        self.context_switch_us = context_switch_us
+        self.name = name
+        self.tasks: List[Task] = []
+        self._ready: List[Job] = []
+        self._running: Optional[Job] = None
+        self._last_dispatched_task: Optional[Task] = None
+        self._job_sequence = 0
+        self._started = False
+        self._in_dispatch = False
+        self._dispatch_again = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Register a task.  Names must be unique."""
+        if any(existing.name == task.name for existing in self.tasks):
+            raise SchedulerError(f"duplicate task name {task.name!r}")
+        self.tasks.append(task)
+        if self._started and task.is_periodic:
+            self._schedule_release(task, self.simulator.now + task.offset_us)
+        return task
+
+    def create_task(
+        self,
+        name: str,
+        priority: int,
+        job_factory: Callable[[], Any],
+        *,
+        period_us: Optional[int] = None,
+        offset_us: int = 0,
+        deadline_us: Optional[int] = None,
+    ) -> Task:
+        """Create and register a task in one call."""
+        task = Task(
+            name,
+            priority,
+            job_factory,
+            period_us=period_us,
+            offset_us=offset_us,
+            deadline_us=deadline_us,
+        )
+        return self.add_task(task)
+
+    def create_queue(self, name: str, capacity: Optional[int] = None) -> MessageQueue:
+        """Create a message queue bound to this scheduler's simulator clock."""
+        return MessageQueue(name, capacity, simulator=self.simulator)
+
+    def get_task(self, name: str) -> Task:
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(f"no task named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first release of every periodic task."""
+        if self._started:
+            return
+        self._started = True
+        for task in self.tasks:
+            if task.is_periodic:
+                self._schedule_release(task, self.simulator.now + task.offset_us)
+
+    def activate(self, task: Task, delay_us: int = 0) -> None:
+        """Release one job of an aperiodic task after ``delay_us``."""
+        if delay_us == 0:
+            self._release(task)
+        else:
+            self.simulator.schedule(delay_us, lambda: self._release(task), label=f"activate:{task.name}")
+
+    def send_to_queue(self, queue: MessageQueue, item: Any) -> bool:
+        """Send to a queue from outside task context (e.g. from a device ISR)
+        and wake any task blocked on it."""
+        accepted = queue.send(item)
+        if accepted:
+            self._wake_queue_waiter(queue)
+            self._schedule_dispatch()
+        return accepted
+
+    def give_semaphore(self, semaphore: Semaphore) -> bool:
+        """Give a semaphore from outside task context and wake a waiter."""
+        given = semaphore.give()
+        if given:
+            self._wake_semaphore_waiter(semaphore)
+            self._schedule_dispatch()
+        return given
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def cpu_utilization(self) -> float:
+        """Fraction of elapsed simulated time spent in task compute segments."""
+        if self.simulator.now == 0:
+            return 0.0
+        busy = sum(task.stats.cpu_time_us for task in self.tasks)
+        return busy / self.simulator.now
+
+    # ------------------------------------------------------------------
+    # Releases
+    # ------------------------------------------------------------------
+    def _schedule_release(self, task: Task, when_us: int) -> None:
+        when_us = max(when_us, self.simulator.now)
+        self.simulator.schedule_at(
+            when_us, lambda: self._periodic_release(task), label=f"release:{task.name}"
+        )
+
+    def _periodic_release(self, task: Task) -> None:
+        self._release(task)
+        assert task.period_us is not None
+        self._schedule_release(task, self.simulator.now + task.period_us)
+
+    def _release(self, task: Task) -> None:
+        if task.current_job is not None and not task.current_job.finished:
+            # Previous activation still in progress: skip this release (and
+            # count it as a deadline miss).  Under heavy interference this is
+            # what starves the CODE(M) thread in implementation scheme 3.
+            task.stats.deadline_misses += 1
+            return
+        job = Job(task, task.job_factory(), self.simulator.now, self._job_sequence)
+        self._job_sequence += 1
+        task.current_job = job
+        task.stats.activations += 1
+        task.state = TaskState.READY
+        self._make_ready(job)
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------------
+    # Ready queue management
+    # ------------------------------------------------------------------
+    def _make_ready(self, job: Job, front: bool = False) -> None:
+        job.task.state = TaskState.READY
+        if front:
+            self._ready.insert(0, job)
+        else:
+            self._ready.append(job)
+
+    def _pop_ready(self) -> Optional[Job]:
+        if not self._ready:
+            return None
+        best_index = 0
+        best_priority = self._ready[0].task.priority
+        for index, job in enumerate(self._ready[1:], start=1):
+            if job.task.priority > best_priority:
+                best_priority = job.task.priority
+                best_index = index
+        return self._ready.pop(best_index)
+
+    def _highest_ready_priority(self) -> Optional[int]:
+        if not self._ready:
+            return None
+        return max(job.task.priority for job in self._ready)
+
+    def _higher_priority_ready(self, priority: int) -> bool:
+        highest = self._highest_ready_priority()
+        return highest is not None and highest > priority
+
+    # ------------------------------------------------------------------
+    # Dispatching
+    # ------------------------------------------------------------------
+    def _schedule_dispatch(self) -> None:
+        if self._in_dispatch:
+            self._dispatch_again = True
+            return
+        self._in_dispatch = True
+        try:
+            while True:
+                self._dispatch_again = False
+                self._dispatch_once()
+                if not self._dispatch_again:
+                    break
+        finally:
+            self._in_dispatch = False
+
+    def _dispatch_once(self) -> None:
+        if self._running is not None:
+            if self._higher_priority_ready(self._running.task.priority):
+                self._preempt(self._running)
+            else:
+                return
+        while self._running is None:
+            job = self._pop_ready()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        """Advance ``job`` until it starts a compute segment, blocks or finishes."""
+        task = job.task
+        while True:
+            if job.pending_compute_us is None:
+                status = self._advance(job)
+                if status == "finished" or status == "blocked":
+                    return
+                if status == "continue":
+                    if self._higher_priority_ready(task.priority):
+                        self._make_ready(job, front=True)
+                        return
+                    continue
+                # status == "compute": fall through with pending segment set
+            if job.pending_compute_us == 0:
+                job.pending_compute_us = None
+                continue
+            if self._higher_priority_ready(task.priority):
+                self._make_ready(job, front=True)
+                return
+            self._start_compute(job)
+            return
+
+    def _advance(self, job: Job) -> str:
+        """Advance the job generator by one directive.
+
+        Returns one of ``"compute"``, ``"blocked"``, ``"finished"`` or
+        ``"continue"`` (zero-time directive handled, keep advancing).
+        """
+        try:
+            directive = job.generator.send(job.send_value)
+        except StopIteration:
+            self._finish_job(job)
+            return "finished"
+        job.send_value = None
+
+        if isinstance(directive, Compute):
+            job.pending_compute_us = directive.duration_us
+            job.pending_label = directive.label
+            return "compute"
+
+        if isinstance(directive, Delay):
+            self._block_for_delay(job, directive.duration_us)
+            return "blocked"
+
+        if isinstance(directive, Send):
+            job.send_value = directive.queue.send(directive.item)
+            if job.send_value:
+                self._wake_queue_waiter(directive.queue)
+            return "continue"
+
+        if isinstance(directive, Receive):
+            message = directive.queue.receive_nowait()
+            if message is not None:
+                job.send_value = message
+                return "continue"
+            if directive.timeout_us == 0:
+                job.send_value = None
+                return "continue"
+            self._block_on_queue(job, directive.queue, directive.timeout_us)
+            return "blocked"
+
+        if isinstance(directive, Give):
+            job.send_value = directive.semaphore.give()
+            if job.send_value:
+                self._wake_semaphore_waiter(directive.semaphore)
+            return "continue"
+
+        if isinstance(directive, Take):
+            if directive.semaphore.try_take():
+                job.send_value = True
+                return "continue"
+            if directive.timeout_us == 0:
+                job.send_value = False
+                return "continue"
+            self._block_on_semaphore(job, directive.semaphore, directive.timeout_us)
+            return "blocked"
+
+        raise SchedulerError(
+            f"task {job.task.name!r} yielded unsupported directive {directive!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Compute segments
+    # ------------------------------------------------------------------
+    def _start_compute(self, job: Job) -> None:
+        task = job.task
+        if self._last_dispatched_task is not task and self.context_switch_us:
+            job.pending_compute_us = (job.pending_compute_us or 0) + self.context_switch_us
+        job.segment_started_at_us = self.simulator.now
+        self._running = job
+        task.state = TaskState.RUNNING
+        self._last_dispatched_task = task
+        job.completion_handle = self.simulator.schedule(
+            job.pending_compute_us or 0,
+            lambda: self._complete_segment(job),
+            label=f"compute:{task.name}",
+        )
+
+    def _complete_segment(self, job: Job) -> None:
+        task = job.task
+        started = (
+            job.segment_started_at_us
+            if job.segment_started_at_us is not None
+            else self.simulator.now
+        )
+        task.stats.cpu_time_us += self.simulator.now - started
+        job.pending_compute_us = None
+        job.segment_started_at_us = None
+        job.completion_handle = None
+        job.send_value = None
+        self._running = None
+        self._make_ready(job, front=True)
+        self._schedule_dispatch()
+
+    def _preempt(self, job: Job) -> None:
+        task = job.task
+        if job.completion_handle is not None:
+            job.completion_handle.cancel()
+            job.completion_handle = None
+        started = (
+            job.segment_started_at_us
+            if job.segment_started_at_us is not None
+            else self.simulator.now
+        )
+        elapsed = self.simulator.now - started
+        task.stats.cpu_time_us += elapsed
+        task.stats.preemptions += 1
+        job.pending_compute_us = max(0, (job.pending_compute_us or 0) - elapsed)
+        job.segment_started_at_us = None
+        self._running = None
+        self._make_ready(job, front=True)
+
+    # ------------------------------------------------------------------
+    # Blocking
+    # ------------------------------------------------------------------
+    def _block_for_delay(self, job: Job, duration_us: int) -> None:
+        job.task.state = TaskState.BLOCKED
+        job.blocked_on = "delay"
+        job.timeout_handle = self.simulator.schedule(
+            duration_us, lambda: self._wake(job, None), label=f"delay:{job.task.name}"
+        )
+
+    def _block_on_queue(self, job: Job, queue: MessageQueue, timeout_us: Optional[int]) -> None:
+        job.task.state = TaskState.BLOCKED
+        job.blocked_on = queue
+        queue.add_waiter(job)
+        if timeout_us is not None:
+            job.timeout_handle = self.simulator.schedule(
+                timeout_us,
+                lambda: self._timeout_queue_wait(job, queue),
+                label=f"qtimeout:{job.task.name}",
+            )
+
+    def _block_on_semaphore(self, job: Job, semaphore: Semaphore, timeout_us: Optional[int]) -> None:
+        job.task.state = TaskState.BLOCKED
+        job.blocked_on = semaphore
+        semaphore.add_waiter(job)
+        if timeout_us is not None:
+            job.timeout_handle = self.simulator.schedule(
+                timeout_us,
+                lambda: self._timeout_semaphore_wait(job, semaphore),
+                label=f"stimeout:{job.task.name}",
+            )
+
+    def _timeout_queue_wait(self, job: Job, queue: MessageQueue) -> None:
+        queue.remove_waiter(job)
+        self._wake(job, None)
+
+    def _timeout_semaphore_wait(self, job: Job, semaphore: Semaphore) -> None:
+        semaphore.remove_waiter(job)
+        self._wake(job, False)
+
+    def _wake_queue_waiter(self, queue: MessageQueue) -> None:
+        while queue.has_waiters and not queue.empty:
+            waiter = queue.pop_waiter()
+            if waiter is None:
+                break
+            item = queue.receive_nowait()
+            self._cancel_timeout(waiter)
+            self._wake(waiter, item)
+
+    def _wake_semaphore_waiter(self, semaphore: Semaphore) -> None:
+        while semaphore.has_waiters and semaphore.available:
+            waiter = semaphore.pop_waiter()
+            if waiter is None:
+                break
+            if not semaphore.try_take():
+                semaphore.add_waiter(waiter)
+                break
+            self._cancel_timeout(waiter)
+            self._wake(waiter, True)
+
+    @staticmethod
+    def _cancel_timeout(job: Job) -> None:
+        if job.timeout_handle is not None:
+            job.timeout_handle.cancel()
+            job.timeout_handle = None
+
+    def _wake(self, job: Job, value: Any) -> None:
+        job.blocked_on = None
+        job.timeout_handle = None
+        job.send_value = value
+        self._make_ready(job)
+        self._schedule_dispatch()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _finish_job(self, job: Job) -> None:
+        task = job.task
+        job.finished = True
+        task.current_job = None
+        task.stats.completions += 1
+        response = self.simulator.now - job.release_time_us
+        task.stats.response_times_us.append(response)
+        if task.deadline_us is not None and response > task.deadline_us:
+            task.stats.deadline_misses += 1
+        task.state = TaskState.WAITING if task.is_periodic else TaskState.DORMANT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = self._running.task.name if self._running else None
+        return f"RTOSScheduler({self.name!r}, tasks={len(self.tasks)}, running={running!r})"

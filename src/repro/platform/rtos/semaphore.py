@@ -1,0 +1,85 @@
+"""Counting / binary semaphores (FreeRTOS ``xSemaphore`` analogue).
+
+Device drivers in the platform layer use semaphores to model mutual exclusion
+on shared peripherals (for example, a shared I2C bus between two sensors).
+Blocking acquisition is mediated by the scheduler; the semaphore itself only
+exposes non-blocking primitives plus waiter bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class Semaphore:
+    """A counting semaphore with an optional maximum count."""
+
+    def __init__(self, name: str, initial: int = 1, maximum: Optional[int] = None) -> None:
+        if initial < 0:
+            raise ValueError("initial count must be non-negative")
+        if maximum is not None and maximum < max(1, initial):
+            raise ValueError("maximum must be at least the initial count (and >= 1)")
+        self.name = name
+        self._count = initial
+        self._maximum = maximum
+        self._waiters: List[Any] = []
+        self.takes = 0
+        self.gives = 0
+        self.contentions = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def available(self) -> bool:
+        return self._count > 0
+
+    def try_take(self) -> bool:
+        """Attempt to acquire without blocking."""
+        if self._count > 0:
+            self._count -= 1
+            self.takes += 1
+            return True
+        self.contentions += 1
+        return False
+
+    def give(self) -> bool:
+        """Release the semaphore.  Returns ``False`` when already at maximum."""
+        if self._maximum is not None and self._count >= self._maximum:
+            return False
+        self._count += 1
+        self.gives += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Waiter registration (used by the scheduler for blocking take)
+    # ------------------------------------------------------------------
+    def add_waiter(self, waiter: Any) -> None:
+        self._waiters.append(waiter)
+
+    def remove_waiter(self, waiter: Any) -> None:
+        if waiter in self._waiters:
+            self._waiters.remove(waiter)
+
+    def pop_waiter(self) -> Optional[Any]:
+        if self._waiters:
+            return self._waiters.pop(0)
+        return None
+
+    @property
+    def has_waiters(self) -> bool:
+        return bool(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Semaphore({self.name!r}, count={self._count})"
+
+
+def make_binary_semaphore(name: str, taken: bool = False) -> Semaphore:
+    """Create a binary semaphore, optionally starting in the taken state."""
+    return Semaphore(name, initial=0 if taken else 1, maximum=1)
+
+
+def make_mutex(name: str) -> Semaphore:
+    """Create a mutex-style binary semaphore (initially available)."""
+    return Semaphore(name, initial=1, maximum=1)

@@ -1,0 +1,154 @@
+"""Task (thread) abstraction for the simulated RTOS.
+
+A :class:`Task` describes *what* runs (a job factory producing a generator of
+scheduler directives) and *how* it is activated (periodic release or one-shot
+activation).  The scheduler owns the runtime state; per-activation bookkeeping
+lives in :class:`Job`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+
+JobBody = Generator[Any, Any, None]
+JobFactory = Callable[[], JobBody]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a task, mirroring a typical RTOS."""
+
+    DORMANT = "dormant"      # created, never released (or finished and aperiodic)
+    READY = "ready"          # has a job ready to run
+    RUNNING = "running"      # currently executing a compute segment
+    BLOCKED = "blocked"      # waiting on a queue, semaphore or delay
+    WAITING = "waiting"      # periodic task waiting for its next release
+
+
+@dataclass
+class TaskStats:
+    """Per-task runtime statistics collected by the scheduler."""
+
+    activations: int = 0
+    completions: int = 0
+    preemptions: int = 0
+    deadline_misses: int = 0
+    cpu_time_us: int = 0
+    response_times_us: List[int] = field(default_factory=list)
+
+    @property
+    def max_response_us(self) -> int:
+        return max(self.response_times_us) if self.response_times_us else 0
+
+    @property
+    def mean_response_us(self) -> float:
+        if not self.response_times_us:
+            return 0.0
+        return sum(self.response_times_us) / len(self.response_times_us)
+
+
+class Task:
+    """A schedulable task.
+
+    Parameters
+    ----------
+    name:
+        Unique task name (used in traces and diagnostics).
+    priority:
+        FreeRTOS convention: larger number means higher priority.
+    job_factory:
+        Zero-argument callable returning a fresh job generator for each
+        activation.
+    period_us:
+        Release period for periodic tasks; ``None`` for aperiodic tasks that
+        are activated explicitly (:meth:`RTOSScheduler.activate`).
+    offset_us:
+        Release offset of the first periodic activation.
+    deadline_us:
+        Relative deadline used only for bookkeeping (deadline-miss counting);
+        defaults to the period for periodic tasks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        priority: int,
+        job_factory: JobFactory,
+        *,
+        period_us: Optional[int] = None,
+        offset_us: int = 0,
+        deadline_us: Optional[int] = None,
+    ) -> None:
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        if period_us is not None and period_us <= 0:
+            raise ValueError("period must be positive")
+        if offset_us < 0:
+            raise ValueError("offset must be non-negative")
+        self.name = name
+        self.priority = priority
+        self.job_factory = job_factory
+        self.period_us = period_us
+        self.offset_us = offset_us
+        self.deadline_us = deadline_us if deadline_us is not None else period_us
+        self.state = TaskState.DORMANT
+        self.stats = TaskStats()
+        self.current_job: Optional["Job"] = None
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.period_us is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = f"period={self.period_us}us" if self.is_periodic else "aperiodic"
+        return f"Task({self.name!r}, prio={self.priority}, {kind}, {self.state.value})"
+
+
+class Job:
+    """One activation of a task.
+
+    The scheduler drives the job generator; the job records the directive it
+    is currently blocked on or executing, and how much of a compute segment
+    remains after preemption.
+    """
+
+    __slots__ = (
+        "task",
+        "generator",
+        "release_time_us",
+        "sequence",
+        "pending_compute_us",
+        "pending_label",
+        "send_value",
+        "blocked_on",
+        "timeout_handle",
+        "completion_handle",
+        "segment_started_at_us",
+        "finished",
+    )
+
+    def __init__(self, task: Task, generator: JobBody, release_time_us: int, sequence: int) -> None:
+        self.task = task
+        self.generator = generator
+        self.release_time_us = release_time_us
+        self.sequence = sequence
+        #: Remaining CPU time of the compute segment to run next (None when the
+        #: generator must be advanced to obtain the next directive).
+        self.pending_compute_us: Optional[int] = None
+        self.pending_label: str = ""
+        #: Value to feed into ``generator.send`` on the next advancement.
+        self.send_value: Any = None
+        #: The queue/semaphore this job is blocked on, if any.
+        self.blocked_on: Any = None
+        self.timeout_handle: Any = None
+        self.completion_handle: Any = None
+        self.segment_started_at_us: Optional[int] = None
+        self.finished = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job({self.task.name}#{self.sequence}, released={self.release_time_us}, "
+            f"pending={self.pending_compute_us})"
+        )

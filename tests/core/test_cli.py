@@ -1,0 +1,93 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_verify_passes_on_fig2_model(self, capsys):
+        assert main(["verify"]) == 0
+        output = capsys.readouterr().out
+        assert "REQ1" in output and "PASS" in output
+
+    def test_verify_extended_model(self, capsys):
+        assert main(["verify", "--extended"]) == 0
+        assert "gpca_extended" in capsys.readouterr().out
+
+
+class TestCodegenCommand:
+    def test_codegen_prints_source(self, capsys):
+        assert main(["codegen"]) == 0
+        output = capsys.readouterr().out
+        assert "gpca_fig2_step" in output
+
+    def test_codegen_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "gpca.c"
+        assert main(["codegen", "--output", str(target)]) == 0
+        assert "switch" in target.read_text()
+
+
+class TestRtestCommand:
+    def test_rtest_scheme2_passes(self, capsys):
+        exit_code = main(["rtest", "--scheme", "2", "--samples", "3", "--seed", "5"])
+        assert exit_code == 0
+        assert "R-testing report" in capsys.readouterr().out
+
+    def test_rtest_scheme3_fails_and_writes_artifacts(self, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "samples.csv"
+        m_json_path = tmp_path / "m_report.json"
+        exit_code = main(
+            [
+                "rtest",
+                "--scheme",
+                "3",
+                "--samples",
+                "3",
+                "--seed",
+                "9",
+                "--m-test",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+                "--m-json",
+                str(m_json_path),
+            ]
+        )
+        assert exit_code == 1
+        output = capsys.readouterr().out
+        assert "M-testing report" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["requirement"]["id"] == "REQ1"
+        assert not payload["passed"]
+        assert csv_path.read_text().startswith("sample,")
+        m_payload = json.loads(m_json_path.read_text())
+        assert m_payload["segments"]
+
+    def test_rtest_requires_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["rtest"])
+
+
+class TestTable1Command:
+    def test_table1_renders_and_writes(self, tmp_path, capsys):
+        target = tmp_path / "table1.txt"
+        exit_code = main(["table1", "--samples", "3", "--output", str(target)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "TABLE I" in output
+        assert "Scheme 3" in target.read_text()
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,115 @@
+"""Unit tests for stimulus/response matching."""
+
+import pytest
+
+from repro.core.four_variables import Event, EventKind, Trace
+from repro.core.oracle import ResponseMatcher
+from repro.core.requirements import EventSpec
+from repro.platform.kernel.time import ms
+
+
+def make_trace(pairs):
+    """Build a trace from (kind, variable, value, time_ms) tuples."""
+    return Trace(
+        Event(kind, variable, value, ms(time_ms))
+        for kind, variable, value, time_ms in sorted(pairs, key=lambda item: item[3])
+    )
+
+
+@pytest.fixture
+def matcher():
+    return ResponseMatcher(
+        EventSpec.becomes("m-Req", True),
+        EventSpec.becomes_positive("c-Motor"),
+    )
+
+
+class TestMatching:
+    def test_single_pair(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.C, "c-Motor", 1, 60),
+        ])
+        pairs = matcher.match(trace)
+        assert len(pairs) == 1
+        assert pairs[0].latency_us == ms(50)
+
+    def test_fifo_pairing(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.M, "m-Req", True, 200),
+            (EventKind.C, "c-Motor", 1, 100),
+            (EventKind.C, "c-Motor", 2, 280),
+        ])
+        pairs = matcher.match(trace)
+        assert [pair.latency_us for pair in pairs] == [ms(90), ms(80)]
+
+    def test_missing_response_is_none(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+        ])
+        pairs = matcher.match(trace)
+        assert pairs[0].response is None
+        assert pairs[0].latency_us is None
+
+    def test_response_before_stimulus_not_matched(self, matcher):
+        trace = make_trace([
+            (EventKind.C, "c-Motor", 1, 5),
+            (EventKind.M, "m-Req", True, 10),
+        ])
+        pairs = matcher.match(trace)
+        assert pairs[0].response is None
+
+    def test_timeout_excludes_late_response(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.C, "c-Motor", 1, 700),
+        ])
+        pairs = matcher.match(trace, timeout_us=ms(500))
+        assert pairs[0].response is None
+
+    def test_value_filter_applied(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.C, "c-Motor", 0, 30),   # motor stop, not a start
+            (EventKind.C, "c-Motor", 2, 60),
+        ])
+        pairs = matcher.match(trace)
+        assert pairs[0].response.value == 2
+
+    def test_second_stimulus_without_response_is_max(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.C, "c-Motor", 1, 60),
+            (EventKind.M, "m-Req", True, 300),
+        ])
+        pairs = matcher.match(trace, timeout_us=ms(500))
+        assert pairs[0].response is not None
+        assert pairs[1].response is None
+
+    def test_only_matching_kind_considered(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.O, "c-Motor", 1, 30),   # an O event on the same variable name
+            (EventKind.C, "c-Motor", 1, 80),
+        ])
+        pairs = matcher.match(trace)
+        assert pairs[0].response.timestamp_us == ms(80)
+
+
+class TestFirstEventAfter:
+    def test_window_and_spec(self):
+        trace = make_trace([
+            (EventKind.O, "o-Motor", 0, 10),
+            (EventKind.O, "o-Motor", 1, 50),
+            (EventKind.O, "o-Motor", 1, 90),
+        ])
+        event = ResponseMatcher.first_event_after(
+            trace, EventKind.O, "o-Motor", ms(20),
+            spec=EventSpec.becomes("o-Motor", 1),
+        )
+        assert event.timestamp_us == ms(50)
+        bounded = ResponseMatcher.first_event_after(
+            trace, EventKind.O, "o-Motor", ms(60), before_us=ms(80)
+        )
+        assert bounded is None

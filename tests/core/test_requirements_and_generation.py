@@ -1,0 +1,148 @@
+"""Unit tests for timing requirements, event specs and R-test-case generation."""
+
+import pytest
+
+from repro.core.four_variables import Event, EventKind
+from repro.core.requirements import EventSpec, MatchMode, RequirementSet, TimingRequirement
+from repro.core.test_generation import (
+    RTestGenerator,
+    TestGenerationConfig,
+    paper_example_test_case,
+)
+from repro.platform.kernel.time import ms
+
+
+class TestEventSpec:
+    def test_becomes(self):
+        spec = EventSpec.becomes("c-X", 1)
+        assert spec.matches(Event(EventKind.C, "c-X", 1, 0))
+        assert not spec.matches(Event(EventKind.C, "c-X", 0, 0))
+        assert not spec.matches(Event(EventKind.C, "c-Y", 1, 0))
+
+    def test_becomes_positive(self):
+        spec = EventSpec.becomes_positive("c-X")
+        assert spec.matches(Event(EventKind.C, "c-X", 3, 0))
+        assert not spec.matches(Event(EventKind.C, "c-X", 0, 0))
+        assert spec.matches(Event(EventKind.C, "c-X", True, 0))
+
+    def test_any_change(self):
+        spec = EventSpec.any_change("c-X")
+        assert spec.matches(Event(EventKind.C, "c-X", 0, 0))
+        assert spec.matches(Event(EventKind.C, "c-X", 99, 0))
+
+
+class TestTimingRequirement:
+    def test_defaults_and_timeout(self, req1):
+        assert req1.deadline_us == ms(100)
+        assert req1.effective_timeout_us == ms(500)
+        assert req1.has_model_counterpart
+
+    def test_check_latency(self, req1):
+        assert req1.check_latency(ms(100))
+        assert not req1.check_latency(ms(101))
+        assert not req1.check_latency(None)
+
+    def test_model_counterpart_round_trip(self, req1):
+        model_req = req1.to_model_requirement()
+        assert model_req.trigger_event == "i-BolusReq"
+        assert model_req.deadline_ticks == 100
+        assert model_req.trigger_state == "Idle"
+
+    def test_requirement_without_model_counterpart(self):
+        requirement = TimingRequirement(
+            requirement_id="X",
+            stimulus=EventSpec.becomes("m-X", True),
+            response=EventSpec.becomes("c-X", 1),
+            deadline_us=ms(10),
+        )
+        assert not requirement.has_model_counterpart
+        with pytest.raises(ValueError):
+            requirement.to_model_requirement()
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRequirement(
+                requirement_id="X",
+                stimulus=EventSpec.becomes("m-X", True),
+                response=EventSpec.becomes("c-X", 1),
+                deadline_us=0,
+            )
+
+    def test_timeout_below_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            TimingRequirement(
+                requirement_id="X",
+                stimulus=EventSpec.becomes("m-X", True),
+                response=EventSpec.becomes("c-X", 1),
+                deadline_us=ms(100),
+                timeout_us=ms(50),
+            )
+
+
+class TestRequirementSet:
+    def test_gpca_catalogue(self):
+        from repro.gpca import gpca_requirements
+
+        catalogue = gpca_requirements()
+        assert len(catalogue) == 4
+        assert "REQ1" in catalogue
+        assert catalogue.get("REQ1").deadline_us == ms(100)
+        assert len(catalogue.with_model_counterpart()) == 4
+
+    def test_duplicate_id_rejected(self, req1):
+        catalogue = RequirementSet("x", [req1])
+        with pytest.raises(ValueError):
+            catalogue.add(req1)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            RequirementSet("x").get("missing")
+
+
+class TestTestGeneration:
+    def test_uniform_spacing(self, req1):
+        config = TestGenerationConfig(sample_count=5, start_offset_us=ms(10), min_separation_us=ms(4200))
+        case = RTestGenerator(req1, config).uniform()
+        times = case.stimulus_times()
+        assert len(times) == 5
+        assert times[0] == ms(10)
+        assert all(b - a == ms(4200) for a, b in zip(times, times[1:]))
+
+    def test_randomized_is_seeded(self, req1):
+        config = TestGenerationConfig(sample_count=8, min_separation_us=ms(4200), max_separation_us=ms(6000), seed=3)
+        a = RTestGenerator(req1, config).randomized()
+        b = RTestGenerator(req1, config).randomized()
+        assert a.stimulus_times() == b.stimulus_times()
+
+    def test_randomized_respects_bounds(self, req1):
+        config = TestGenerationConfig(sample_count=20, min_separation_us=ms(4200), max_separation_us=ms(5000), seed=1)
+        times = RTestGenerator(req1, config).randomized().stimulus_times()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(ms(4200) <= gap <= ms(5000) for gap in gaps)
+
+    def test_boundary_uses_requirement_minimum(self, req1):
+        config = TestGenerationConfig(sample_count=3, min_separation_us=ms(4200))
+        case = RTestGenerator(req1, config).boundary()
+        times = case.stimulus_times()
+        assert times[1] - times[0] == req1.min_stimulus_separation_us
+
+    def test_generator_rejects_too_small_separation(self, req1):
+        config = TestGenerationConfig(sample_count=3, min_separation_us=ms(100))
+        with pytest.raises(ValueError):
+            RTestGenerator(req1, config)
+
+    def test_run_horizon_covers_timeout(self, req1):
+        config = TestGenerationConfig(sample_count=2, min_separation_us=ms(4200))
+        case = RTestGenerator(req1, config).uniform()
+        assert case.run_horizon_us == case.last_stimulus_us + req1.effective_timeout_us
+
+    def test_paper_example_sequence(self, req1):
+        case = paper_example_test_case(req1)
+        assert case.stimulus_times() == [ms(10), ms(300), ms(500)]
+        assert all(stimulus.variable == "m-BolusReq" for stimulus in case.stimuli)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TestGenerationConfig(sample_count=0)
+        with pytest.raises(ValueError):
+            TestGenerationConfig(min_separation_us=ms(10), max_separation_us=ms(5))

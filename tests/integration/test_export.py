@@ -1,0 +1,76 @@
+"""Tests of Markdown / CSV export of analysis artefacts."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import SchemeResult, TableOne
+from repro.analysis.export import (
+    sweep_to_csv,
+    sweep_to_markdown,
+    table_one_to_csv,
+    table_one_to_markdown,
+)
+from repro.analysis.figures import SweepPoint
+from repro.core import MTestAnalyzer, RTestRunner
+from repro.gpca import (
+    bolus_request_test_case,
+    build_pump_interface,
+    req1_bolus_start,
+    scheme_factory,
+    scheme_name,
+)
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    table = TableOne()
+    test_case = bolus_request_test_case(samples=3, seed=2)
+    for scheme in (1, 2):
+        r_report = RTestRunner(scheme_factory(scheme, seed=scheme)).run(test_case)
+        m_report = MTestAnalyzer(build_pump_interface(), req1_bolus_start()).analyze(
+            r_report.trace, sut_name=r_report.sut_name
+        )
+        table.add(SchemeResult(scheme, scheme_name(scheme), r_report, m_report))
+    return table
+
+
+SWEEP = [
+    SweepPoint(parameter=25.0, violation_rate=0.3, timeout_count=0, max_latency_ms=110.0, mean_latency_ms=95.0),
+    SweepPoint(parameter=10.0, violation_rate=0.0, timeout_count=0, max_latency_ms=80.0, mean_latency_ms=70.0),
+]
+
+
+class TestTableExport:
+    def test_markdown_contains_all_samples_and_schemes(self, small_table):
+        markdown = table_one_to_markdown(small_table)
+        assert markdown.count("\n| ") >= 3  # header + 3 sample rows
+        assert "Scheme 1" in markdown and "Scheme 2" in markdown
+        assert markdown.startswith("###")
+
+    def test_markdown_summary_lines(self, small_table):
+        markdown = table_one_to_markdown(small_table)
+        assert "R-testing PASS" in markdown or "R-testing FAIL" in markdown
+
+    def test_csv_round_trips_through_csv_reader(self, small_table):
+        text = table_one_to_csv(small_table)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert "scheme1_r" in rows[0] and "scheme2_code" in rows[0]
+
+    def test_empty_table_csv(self):
+        assert table_one_to_csv(TableOne()) == ""
+
+
+class TestSweepExport:
+    def test_markdown_sorted_by_parameter(self):
+        markdown = sweep_to_markdown(SWEEP, "period (ms)")
+        assert markdown.index("| 10 |") < markdown.index("| 25 |")
+        assert "0%" in markdown and "30%" in markdown
+
+    def test_csv_fields(self):
+        rows = list(csv.DictReader(io.StringIO(sweep_to_csv(SWEEP, "period_ms"))))
+        assert len(rows) == 2
+        assert rows[0]["period_ms"] == "10.0"
+        assert rows[1]["violation_rate"] == "0.3"

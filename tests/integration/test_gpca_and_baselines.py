@@ -1,0 +1,119 @@
+"""Tests of the GPCA scenario catalogue and the related-work baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BlackBoxOnlineTester,
+    FunctionalConformanceChecker,
+    FunctionalStep,
+)
+from repro.codegen import generate_code
+from repro.core import RTestRunner
+from repro.gpca import (
+    PumpBuildOptions,
+    alarm_clear_test_case,
+    bolus_request_test_case,
+    build_extended_statechart,
+    build_fig2_statechart,
+    empty_reservoir_alarm_test_case,
+    empty_reservoir_stop_test_case,
+    scheme_factory,
+)
+
+
+class TestGpcaScenarios:
+    def test_bolus_scenario_spacing_respects_bolus_duration(self):
+        case = bolus_request_test_case(samples=6, seed=1)
+        times = case.stimulus_times()
+        assert all(b - a >= case.requirement.min_stimulus_separation_us for a, b in zip(times, times[1:]))
+
+    def test_empty_reservoir_alarm_scenario_on_scheme2(self):
+        report = RTestRunner(scheme_factory(2, seed=5)).run(empty_reservoir_alarm_test_case(samples=3))
+        assert len(report.samples) == 3
+        assert report.passed
+
+    def test_empty_reservoir_stop_scenario_on_scheme2(self):
+        report = RTestRunner(scheme_factory(2, seed=5)).run(empty_reservoir_stop_test_case(samples=3))
+        assert len(report.samples) == 3
+        assert report.passed
+
+    def test_alarm_clear_scenario_on_scheme2(self):
+        report = RTestRunner(scheme_factory(2, seed=5)).run(alarm_clear_test_case(samples=3))
+        assert len(report.samples) == 3
+        assert report.passed
+
+    def test_extended_model_runs_on_scheme2(self):
+        # Start after the 500 ms power-on self test of the extended chart.
+        case = bolus_request_test_case(samples=3, seed=2, start_offset_us=800_000)
+        report = RTestRunner(scheme_factory(2, seed=6, use_extended_model=True)).run(case)
+        assert len(report.samples) == 3
+        assert report.passed
+
+    def test_request_during_power_on_test_is_ignored(self):
+        """A request during the extended model's self test gets no bolus (MAX),
+        exactly as the model specifies."""
+        case = bolus_request_test_case(samples=1, seed=2, start_offset_us=150_000)
+        report = RTestRunner(scheme_factory(2, seed=6, use_extended_model=True)).run(case)
+        assert report.samples[0].timed_out
+
+
+class TestBlackBoxBaseline:
+    def test_reaches_same_verdict_as_r_testing(self):
+        case = bolus_request_test_case(samples=4, seed=3)
+        r_report = RTestRunner(scheme_factory(3, seed=44)).run(case)
+        bb_report = BlackBoxOnlineTester(scheme_factory(3, seed=44)).run(case)
+        assert bb_report.passed == r_report.passed
+        assert bb_report.violation_count == r_report.violation_count
+
+    def test_provides_no_diagnostic_information(self):
+        case = bolus_request_test_case(samples=2, seed=3)
+        report = BlackBoxOnlineTester(scheme_factory(3, seed=44)).run(case)
+        assert report.diagnostic_information() == []
+        assert "0 delay segments" in report.summary()
+
+    def test_passing_system_passes(self):
+        case = bolus_request_test_case(samples=3, seed=3)
+        report = BlackBoxOnlineTester(scheme_factory(2, seed=7)).run(case)
+        assert report.passed
+        assert all(verdict.passed for verdict in report.verdicts)
+
+
+class TestFunctionalConformanceBaseline:
+    def test_generated_code_is_functionally_conformant(self):
+        chart = build_fig2_statechart()
+        checker = FunctionalConformanceChecker(chart, generate_code(chart))
+        report = checker.run(checker.bolus_scenario(), "bolus")
+        assert report.conformant
+        report = checker.run(checker.alarm_scenario(), "alarm")
+        assert report.conformant
+
+    def test_extended_chart_conformance(self):
+        chart = build_extended_statechart()
+        checker = FunctionalConformanceChecker(chart, generate_code(chart))
+        steps = [
+            FunctionalStep(advance_ticks=500),
+            FunctionalStep(advance_ticks=10, events=("i-BolusReq",)),
+            FunctionalStep(advance_ticks=100, events=("i-Occlusion",)),
+            FunctionalStep(advance_ticks=50, events=("i-ClearAlarm",)),
+        ]
+        assert checker.run(steps, "occlusion").conformant
+
+    def test_conformance_says_nothing_about_timing(self):
+        """The key gap: a timing-violating scheme still passes functional checks."""
+        chart = build_fig2_statechart()
+        checker = FunctionalConformanceChecker(chart, generate_code(chart))
+        functional = checker.run(checker.bolus_scenario(), "bolus")
+        assert functional.conformant
+        timing = RTestRunner(scheme_factory(3, seed=44)).run(
+            bolus_request_test_case(samples=3, seed=3)
+        )
+        assert not timing.passed
+        assert "timing not assessed" in functional.summary()
+
+    def test_divergence_detected_for_mismatched_artifacts(self):
+        """Pairing the Fig. 2 model with code generated from a different chart fails."""
+        fig2 = build_fig2_statechart()
+        other = build_extended_statechart()
+        checker = FunctionalConformanceChecker(fig2, generate_code(other))
+        report = checker.run(checker.bolus_scenario(), "mismatch")
+        assert not report.conformant

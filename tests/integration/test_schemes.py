@@ -1,0 +1,154 @@
+"""Integration tests of the three implementation schemes on the simulated platform."""
+
+import pytest
+
+from repro.core import EventKind, RTestRunner
+from repro.core.test_generation import Stimulus
+from repro.gpca import (
+    PumpBuildOptions,
+    bolus_request_test_case,
+    make_scheme1_system,
+    make_scheme2_system,
+    make_scheme3_system,
+    make_system,
+    scheme_factory,
+)
+from repro.integration.multi_threaded import MultiThreadedConfig
+from repro.integration.single_threaded import SingleThreadedConfig
+from repro.platform.kernel.time import ms, seconds
+
+
+def run_single_bolus(system, at_us=ms(100), until_us=seconds(6)):
+    system.apply_stimulus(Stimulus(at_us, "m-BolusReq"))
+    system.run(until_us)
+    return system.trace
+
+
+class TestScheme1:
+    def test_bolus_request_reaches_motor(self):
+        trace = run_single_bolus(make_scheme1_system(PumpBuildOptions(seed=1)))
+        m_events = trace.select(kind=EventKind.M, variable="m-BolusReq")
+        c_events = trace.select(kind=EventKind.C, variable="c-PumpMotor")
+        assert len(m_events) == 1
+        assert c_events and c_events[0].value > 0
+        assert c_events[0].timestamp_us > m_events[0].timestamp_us
+
+    def test_motor_stops_after_bolus_duration(self):
+        trace = run_single_bolus(make_scheme1_system(PumpBuildOptions(seed=1)))
+        changes = trace.value_changes(EventKind.C, "c-PumpMotor")
+        assert [value for _, value in changes[:2]] == [1, 0]
+        start, stop = changes[0][0], changes[1][0]
+        # The bolus lasts 4000 model ticks; platform delays add a little.
+        assert seconds(3.9) < stop - start < seconds(4.3)
+
+    def test_io_and_transition_events_recorded(self):
+        trace = run_single_bolus(make_scheme1_system(PumpBuildOptions(seed=1)))
+        assert trace.select(kind=EventKind.I, variable="i-BolusReq")
+        assert trace.select(kind=EventKind.O, variable="o-MotorState")
+        assert trace.select(kind=EventKind.TRANSITION_START, variable="t_bolus_req")
+
+    def test_single_task_created(self):
+        system = make_scheme1_system(PumpBuildOptions(seed=1))
+        system.build()
+        assert [task.name for task in system.scheduler.tasks] == ["codem_loop"]
+
+    def test_unknown_stimulus_variable_rejected(self):
+        system = make_scheme1_system(PumpBuildOptions(seed=1))
+        with pytest.raises(KeyError):
+            system.apply_stimulus(Stimulus(ms(1), "m-Nonexistent"))
+
+
+class TestScheme2:
+    def test_pipeline_tasks_and_queues_created(self):
+        system = make_scheme2_system(PumpBuildOptions(seed=2))
+        system.build()
+        names = {task.name for task in system.scheduler.tasks}
+        assert names == {"sensing", "codem", "actuation"}
+        assert system.input_queue is not None and system.output_queue is not None
+
+    def test_period_sum_below_deadline(self):
+        config = MultiThreadedConfig()
+        assert config.period_sum_us < ms(100)
+
+    def test_bolus_latency_within_deadline(self):
+        system = make_scheme2_system(PumpBuildOptions(seed=2))
+        trace = run_single_bolus(system)
+        m_event = trace.first(kind=EventKind.M, variable="m-BolusReq")
+        c_event = trace.first(
+            kind=EventKind.C, variable="c-PumpMotor", predicate=lambda event: event.value
+        )
+        assert c_event.timestamp_us - m_event.timestamp_us <= ms(100)
+
+    def test_queues_carry_traffic(self):
+        system = make_scheme2_system(PumpBuildOptions(seed=2))
+        run_single_bolus(system)
+        assert system.input_queue.stats.sent >= 1
+        assert system.output_queue.stats.sent >= 1
+        assert system.input_queue.stats.dropped == 0
+
+
+class TestScheme3:
+    def test_interference_tasks_created_with_relative_priorities(self):
+        system = make_scheme3_system(PumpBuildOptions(seed=3))
+        system.build()
+        by_name = {task.name: task for task in system.scheduler.tasks}
+        codem_priority = by_name["codem"].priority
+        assert by_name["net_driver"].priority > codem_priority
+        assert by_name["logger"].priority == codem_priority
+        assert by_name["diagnostics"].priority < codem_priority
+
+    def test_interference_inflates_latency_compared_to_scheme2(self):
+        def latency(system):
+            trace = run_single_bolus(system)
+            m_event = trace.first(kind=EventKind.M, variable="m-BolusReq")
+            c_event = trace.first(
+                kind=EventKind.C, variable="c-PumpMotor", predicate=lambda event: event.value
+            )
+            return c_event.timestamp_us - m_event.timestamp_us
+
+        clean = latency(make_scheme2_system(PumpBuildOptions(seed=4)))
+        interfered = latency(make_scheme3_system(PumpBuildOptions(seed=4)))
+        assert interfered > clean
+
+    def test_codem_thread_is_preempted(self):
+        system = make_scheme3_system(PumpBuildOptions(seed=3))
+        run_single_bolus(system)
+        stats = system.task_statistics()
+        assert stats["codem"].preemptions > 0
+
+    def test_interference_utilization_reported(self):
+        system = make_scheme3_system(PumpBuildOptions(seed=3))
+        assert system.config.interference_utilization > 0.5
+
+
+class TestSchemeComparison:
+    """The paper's qualitative Table I shape across the three schemes."""
+
+    def test_scheme2_passes_req1(self):
+        report = RTestRunner(scheme_factory(2, seed=22)).run(
+            bolus_request_test_case(samples=5, seed=5)
+        )
+        assert report.passed
+
+    def test_scheme3_violates_req1(self):
+        report = RTestRunner(scheme_factory(3, seed=33)).run(
+            bolus_request_test_case(samples=5, seed=5)
+        )
+        assert not report.passed
+
+    def test_scheme3_is_worse_than_scheme1(self):
+        case = bolus_request_test_case(samples=5, seed=5)
+        scheme1 = RTestRunner(scheme_factory(1, seed=11)).run(case)
+        scheme3 = RTestRunner(scheme_factory(3, seed=11)).run(case)
+        assert scheme3.violation_count >= scheme1.violation_count
+
+    def test_make_system_dispatch(self):
+        assert make_system(1).scheme_name.startswith("scheme1")
+        assert make_system(2).scheme_name.startswith("scheme2")
+        assert make_system(3).scheme_name.startswith("scheme3")
+        with pytest.raises(ValueError):
+            make_system(4)
+
+    def test_scheme1_transitions_per_cycle_default(self):
+        assert SingleThreadedConfig().transitions_per_cycle == 1
+        assert MultiThreadedConfig().transitions_per_cycle is None

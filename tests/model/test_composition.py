@@ -1,0 +1,83 @@
+"""Unit tests for environment assumptions and scenario generation."""
+
+import pytest
+
+from repro.model.composition import EnvironmentAssumptions, ScenarioGenerator
+from repro.platform.kernel.random import RandomSource
+
+
+@pytest.fixture
+def assumptions():
+    return EnvironmentAssumptions(
+        allowed_events=("i-BolusReq", "i-ClearAlarm"),
+        min_separation_ticks=100,
+        event_min_gap_ticks={"i-BolusReq": 4200},
+    )
+
+
+class TestAssumptions:
+    def test_gap_for_uses_largest_constraint(self, assumptions):
+        assert assumptions.gap_for("i-BolusReq") == 4200
+        assert assumptions.gap_for("i-ClearAlarm") == 100
+
+    def test_permits_valid_schedule(self, assumptions):
+        schedule = [(0, "i-BolusReq"), (5000, "i-BolusReq")]
+        assert assumptions.permits(schedule)
+
+    def test_rejects_unknown_event(self, assumptions):
+        assert not assumptions.permits([(0, "i-Nope")])
+
+    def test_rejects_global_separation_violation(self, assumptions):
+        assert not assumptions.permits([(0, "i-BolusReq"), (50, "i-ClearAlarm")])
+
+    def test_rejects_per_event_gap_violation(self, assumptions):
+        assert not assumptions.permits([(0, "i-BolusReq"), (1000, "i-BolusReq")])
+
+    def test_must_allow_at_least_one_event(self):
+        with pytest.raises(ValueError):
+            EnvironmentAssumptions(allowed_events=())
+
+
+class TestScenarioGenerator:
+    def test_periodic_schedule(self, assumptions):
+        generator = ScenarioGenerator(assumptions)
+        schedule = generator.periodic("i-BolusReq", count=3, period_ticks=5000, start_tick=10)
+        assert schedule == [(10, "i-BolusReq"), (5010, "i-BolusReq"), (10010, "i-BolusReq")]
+        assert assumptions.permits(schedule)
+
+    def test_periodic_below_gap_rejected(self, assumptions):
+        generator = ScenarioGenerator(assumptions)
+        with pytest.raises(ValueError):
+            generator.periodic("i-BolusReq", count=3, period_ticks=1000)
+
+    def test_randomized_is_deterministic_for_seed(self, assumptions):
+        a = ScenarioGenerator(assumptions, RandomSource(5)).randomized("i-BolusReq", 5, 4200, 6000)
+        b = ScenarioGenerator(assumptions, RandomSource(5)).randomized("i-BolusReq", 5, 4200, 6000)
+        assert a == b
+        assert assumptions.permits(a)
+
+    def test_randomized_respects_gap_floor(self, assumptions):
+        schedule = ScenarioGenerator(assumptions, RandomSource(1)).randomized(
+            "i-BolusReq", 10, min_gap_ticks=100, max_gap_ticks=200
+        )
+        gaps = [later - earlier for (earlier, _), (later, _) in zip(schedule, schedule[1:])]
+        assert all(gap >= 4200 for gap in gaps)
+
+    def test_unknown_event_rejected(self, assumptions):
+        generator = ScenarioGenerator(assumptions)
+        with pytest.raises(ValueError):
+            generator.periodic("i-Nope", count=1, period_ticks=5000)
+
+    def test_interleaved_merges_and_validates(self, assumptions):
+        generator = ScenarioGenerator(assumptions)
+        bolus = generator.periodic("i-BolusReq", count=2, period_ticks=9000, start_tick=0)
+        clear = generator.periodic("i-ClearAlarm", count=2, period_ticks=9000, start_tick=4500)
+        merged = generator.interleaved([bolus, clear])
+        assert merged == sorted(bolus + clear, key=lambda item: item[0])
+
+    def test_interleaved_rejects_violating_merge(self, assumptions):
+        generator = ScenarioGenerator(assumptions)
+        bolus = generator.periodic("i-BolusReq", count=2, period_ticks=9000, start_tick=0)
+        clear = [(10, "i-ClearAlarm")]
+        with pytest.raises(ValueError):
+            generator.interleaved([bolus, clear])

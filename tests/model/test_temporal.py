@@ -1,0 +1,66 @@
+"""Unit tests for the temporal trigger operators."""
+
+import pytest
+
+from repro.model.temporal import After, At, Before, after, at, before
+
+
+class TestAfter:
+    def test_may_fire_once_bound_reached(self):
+        trigger = after(10)
+        assert not trigger.may_fire(9)
+        assert trigger.may_fire(10)
+        assert trigger.may_fire(11)
+
+    def test_never_forces_firing(self):
+        assert not after(10).must_fire(100)
+
+    def test_eager_matches_may(self):
+        trigger = after(10)
+        assert not trigger.eager_fire(5)
+        assert trigger.eager_fire(10)
+
+
+class TestAt:
+    def test_fires_exactly_at_bound(self):
+        trigger = at(4000)
+        assert not trigger.may_fire(3999)
+        assert trigger.may_fire(4000)
+
+    def test_forces_firing_at_bound(self):
+        trigger = at(4000)
+        assert not trigger.must_fire(3999)
+        assert trigger.must_fire(4000)
+
+
+class TestBefore:
+    def test_may_fire_anytime_within_bound(self):
+        trigger = before(100)
+        assert trigger.may_fire(0)
+        assert trigger.may_fire(50)
+        assert trigger.may_fire(100)
+        assert not trigger.may_fire(101)
+
+    def test_forced_at_bound(self):
+        trigger = before(100)
+        assert not trigger.must_fire(99)
+        assert trigger.must_fire(100)
+
+    def test_eager_fires_immediately(self):
+        assert before(100).eager_fire(0)
+
+
+class TestConstruction:
+    def test_negative_bound_rejected(self):
+        for factory in (after, at, before):
+            with pytest.raises(ValueError):
+                factory(-1)
+
+    def test_default_clock_name(self):
+        assert after(5).clock == "E_CLK"
+        assert at(5, clock="OTHER").clock == "OTHER"
+
+    def test_types(self):
+        assert isinstance(after(1), After)
+        assert isinstance(at(1), At)
+        assert isinstance(before(1), Before)

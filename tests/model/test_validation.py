@@ -1,0 +1,111 @@
+"""Unit tests for statechart validation."""
+
+import pytest
+
+from repro.model.builder import StatechartBuilder
+from repro.model.statechart import StatechartError
+from repro.model.temporal import at, before
+from repro.model.validation import Severity, assert_valid, validate_statechart
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestValidation:
+    def test_fig2_chart_has_no_errors(self, fig2_chart):
+        findings = validate_statechart(fig2_chart)
+        assert all(finding.severity is Severity.WARNING for finding in findings)
+
+    def test_extended_chart_is_clean_enough_to_generate(self, extended_chart):
+        assert_valid(extended_chart)
+
+    def test_unreachable_state_warning(self):
+        chart = (
+            StatechartBuilder("x")
+            .input_event("e")
+            .state("A", initial=True)
+            .state("B")
+            .state("Island")
+            .transition("t", "A", "B", event="e")
+            .build()
+        )
+        assert "UNREACHABLE" in codes(validate_statechart(chart))
+
+    def test_sink_state_warning(self):
+        chart = (
+            StatechartBuilder("x")
+            .input_event("e")
+            .state("A", initial=True)
+            .state("B")
+            .transition("t", "A", "B", event="e")
+            .build()
+        )
+        assert "SINK" in codes(validate_statechart(chart))
+
+    def test_unused_event_and_output_warnings(self):
+        chart = (
+            StatechartBuilder("x")
+            .input_events("used", "unused")
+            .output_variable("never_assigned")
+            .state("A", initial=True)
+            .state("B")
+            .transition("t", "A", "B", event="used")
+            .build()
+        )
+        found = codes(validate_statechart(chart))
+        assert "UNUSED_EVENT" in found
+        assert "UNUSED_OUTPUT" in found
+
+    def test_nondeterminism_warning(self):
+        chart = (
+            StatechartBuilder("x")
+            .input_event("e")
+            .state("A", initial=True)
+            .state("B")
+            .state("C")
+            .transition("t1", "A", "B", event="e")
+            .transition("t2", "A", "C", event="e")
+            .build()
+        )
+        assert "NONDET" in codes(validate_statechart(chart))
+
+    def test_before_zero_warning(self):
+        chart = (
+            StatechartBuilder("x")
+            .state("A", initial=True)
+            .state("B")
+            .transition("t", "A", "B", temporal=before(0))
+            .build()
+        )
+        assert "BEFORE0" in codes(validate_statechart(chart))
+
+    def test_untriggered_self_loop_is_error(self):
+        chart = (
+            StatechartBuilder("x")
+            .state("A", initial=True)
+            .transition("t", "A", "A")
+            .build()
+        )
+        findings = validate_statechart(chart)
+        assert any(
+            finding.code == "SELFLOOP" and finding.severity is Severity.ERROR
+            for finding in findings
+        )
+        with pytest.raises(StatechartError):
+            assert_valid(chart)
+
+    def test_assert_valid_returns_warnings(self, fig2_chart):
+        warnings = assert_valid(fig2_chart)
+        assert all(finding.severity is Severity.WARNING for finding in warnings)
+
+    def test_finding_str_rendering(self):
+        chart = (
+            StatechartBuilder("x")
+            .state("A", initial=True)
+            .state("B")
+            .transition("t", "A", "B", temporal=at(0))
+            .build()
+        )
+        findings = validate_statechart(chart)
+        assert any("AT0" in str(finding) for finding in findings)

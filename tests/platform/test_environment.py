@@ -1,0 +1,108 @@
+"""Unit tests for the physical environment model (patient, syringe, caregiver)."""
+
+import pytest
+
+from repro.core.four_variables import EventKind, TraceRecorder
+from repro.platform.environment import PatientEnvironment, PumpHardware, ReservoirModel
+from repro.platform.kernel.simulator import Simulator
+from repro.platform.kernel.time import ms, seconds
+
+
+@pytest.fixture
+def environment():
+    simulator = Simulator()
+    recorder = TraceRecorder(lambda: simulator.now)
+    hardware = PumpHardware(simulator, recorder)
+    return simulator, recorder, hardware, PatientEnvironment(simulator, hardware)
+
+
+class TestStimulusInjection:
+    def test_bolus_request_press_records_m_event(self, environment):
+        simulator, recorder, hardware, env = environment
+        env.schedule_bolus_request(ms(20))
+        simulator.run_until(ms(30))
+        events = recorder.trace.select(kind=EventKind.M, variable="m-BolusReq")
+        assert [event.timestamp_us for event in events] == [ms(20)]
+
+    def test_reservoir_empty_changes_sensor(self, environment):
+        simulator, recorder, hardware, env = environment
+        env.schedule_reservoir_empty(ms(50))
+        simulator.run_until(ms(60))
+        assert hardware.reservoir_sensor.physical_value is True
+        assert env.reservoir.empty
+
+    def test_reservoir_refill_clears_condition(self, environment):
+        simulator, recorder, hardware, env = environment
+        env.schedule_reservoir_empty(ms(10))
+        env.schedule_reservoir_refill(ms(30), volume_ml=50.0)
+        simulator.run_until(ms(40))
+        assert hardware.reservoir_sensor.physical_value is False
+        assert env.reservoir.volume_ml == 50.0
+
+    def test_occlusion_and_door(self, environment):
+        simulator, recorder, hardware, env = environment
+        env.schedule_occlusion(ms(5))
+        env.schedule_door_open(ms(6))
+        simulator.run_until(ms(10))
+        assert hardware.occlusion_sensor.physical_value is True
+        assert hardware.door_sensor.physical_value is True
+
+    def test_stimuli_are_logged(self, environment):
+        simulator, recorder, hardware, env = environment
+        env.schedule_bolus_request(ms(1))
+        env.schedule_clear_alarm(ms(2))
+        assert [item["kind"] for item in env.scheduled_stimuli] == [
+            "bolus_request",
+            "clear_alarm",
+        ]
+
+
+class TestClosedLoopDynamics:
+    def test_motor_run_delivers_volume(self, environment):
+        simulator, recorder, hardware, env = environment
+        motor = hardware.pump_motor
+        simulator.schedule_at(ms(10), lambda: motor.write(2))
+        simulator.schedule_at(seconds(4), lambda: motor.write(0))
+        simulator.run_until(seconds(5))
+        assert env.bolus_count == 1
+        record = env.deliveries[0]
+        assert record.end_us is not None and record.end_us > record.start_us
+        assert env.total_delivered_ml == pytest.approx(record.delivered_ml)
+        assert record.delivered_ml > 0
+
+    def test_reservoir_empties_after_enough_delivery(self, environment):
+        simulator, recorder, hardware, env = environment
+        env.reservoir.volume_ml = 0.05
+        motor = hardware.pump_motor
+        simulator.schedule_at(ms(10), lambda: motor.write(5))
+        simulator.schedule_at(seconds(10), lambda: motor.write(0))
+        simulator.run_until(seconds(11))
+        assert env.reservoir.empty
+        assert hardware.reservoir_sensor.physical_value is True
+
+
+class TestReservoirModel:
+    def test_drain_bounded_by_volume(self):
+        reservoir = ReservoirModel(volume_ml=1.0, ml_per_second_per_speed=1.0)
+        delivered = reservoir.drain(speed=10, duration_s=10)
+        assert delivered == pytest.approx(1.0)
+        assert reservoir.empty
+
+    def test_partial_drain(self):
+        reservoir = ReservoirModel(volume_ml=100.0, ml_per_second_per_speed=0.05)
+        delivered = reservoir.drain(speed=1, duration_s=4)
+        assert delivered == pytest.approx(0.2)
+        assert reservoir.volume_ml == pytest.approx(99.8)
+
+
+class TestPumpHardware:
+    def test_device_inventory(self, environment):
+        _, _, hardware, _ = environment
+        assert len(hardware.input_devices) == 5
+        assert len(hardware.output_devices) == 3
+
+    def test_start_is_idempotent(self, environment):
+        simulator, _, hardware, _ = environment
+        hardware.start()
+        hardware.start()
+        simulator.run_until(ms(5))  # no duplicate-sampling explosion

@@ -1,0 +1,74 @@
+"""Unit tests for deterministic randomness and jitter models."""
+
+import pytest
+
+from repro.platform.kernel.random import JitterModel, RandomSource, constant, uniform
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42).stream("exec")
+        b = RandomSource(42).stream("exec")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_give_independent_streams(self):
+        source = RandomSource(42)
+        a = source.stream("exec")
+        b = source.stream("sensor")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1).stream("exec")
+        b = RandomSource(2).stream("exec")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_fork_is_deterministic(self):
+        a = RandomSource(7).fork("child").stream("x")
+        b = RandomSource(7).fork("child").stream("x")
+        assert a.random() == b.random()
+
+
+class TestJitterModel:
+    def test_constant_returns_nominal(self):
+        model = constant(500)
+        assert model.sample() == 500
+        assert model.sample(None) == 500
+
+    def test_without_rng_returns_nominal_even_with_bounds(self):
+        model = uniform(1000, 200)
+        assert model.sample(None) == 1000
+
+    def test_sample_stays_within_bounds(self):
+        model = uniform(1000, 200)
+        rng = RandomSource(3).stream("jitter")
+        for _ in range(200):
+            value = model.sample(rng)
+            assert 800 <= value <= 1200
+
+    def test_sample_never_negative(self):
+        model = JitterModel(nominal_us=50, plus_us=0, minus_us=200)
+        rng = RandomSource(3).stream("jitter")
+        assert all(model.sample(rng) >= 0 for _ in range(100))
+
+    def test_worst_and_best_case(self):
+        model = JitterModel(nominal_us=1000, plus_us=300, minus_us=400)
+        assert model.worst_case_us == 1300
+        assert model.best_case_us == 600
+
+    def test_best_case_clamped_at_zero(self):
+        model = JitterModel(nominal_us=100, minus_us=500)
+        assert model.best_case_us == 0
+
+    def test_scaled(self):
+        model = JitterModel(nominal_us=1000, plus_us=100, minus_us=100)
+        scaled = model.scaled(2.0)
+        assert scaled.nominal_us == 2000
+        assert scaled.plus_us == 200
+
+    def test_negative_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            JitterModel(nominal_us=-1)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            constant(100).scaled(-1)

@@ -1,0 +1,103 @@
+"""Unit tests for RTOS queues and semaphores."""
+
+import pytest
+
+from repro.platform.kernel.simulator import Simulator
+from repro.platform.rtos.queue import MessageQueue
+from repro.platform.rtos.semaphore import Semaphore, make_binary_semaphore, make_mutex
+
+
+class TestMessageQueue:
+    def test_fifo_order(self):
+        queue = MessageQueue("q")
+        queue.send(1)
+        queue.send(2)
+        queue.send(3)
+        assert queue.drain() == [1, 2, 3]
+
+    def test_receive_empty_returns_none(self):
+        queue = MessageQueue("q")
+        assert queue.receive_nowait() is None
+
+    def test_bounded_queue_drops_when_full(self):
+        queue = MessageQueue("q", capacity=2)
+        assert queue.send("a")
+        assert queue.send("b")
+        assert not queue.send("c")
+        assert queue.stats.dropped == 1
+        assert len(queue) == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MessageQueue("q", capacity=0)
+
+    def test_stats_counters(self):
+        queue = MessageQueue("q")
+        queue.send(1)
+        queue.send(2)
+        queue.receive_nowait()
+        assert queue.stats.sent == 2
+        assert queue.stats.received == 1
+        assert queue.stats.max_depth == 2
+
+    def test_residence_time_uses_simulator_clock(self):
+        sim = Simulator()
+        queue = MessageQueue("q", simulator=sim)
+        queue.send("item")
+        sim.schedule_at(1000, lambda: queue.receive_nowait())
+        sim.run()
+        assert queue.stats.total_residence_us == 1000
+        assert queue.stats.mean_residence_us == 1000
+
+    def test_clear_discards_without_counting(self):
+        queue = MessageQueue("q")
+        queue.send(1)
+        queue.clear()
+        assert queue.empty
+        assert queue.stats.received == 0
+
+    def test_waiter_registration(self):
+        queue = MessageQueue("q")
+        queue.add_waiter("w1")
+        queue.add_waiter("w2")
+        assert queue.has_waiters
+        assert queue.pop_waiter() == "w1"
+        queue.remove_waiter("w2")
+        assert not queue.has_waiters
+
+
+class TestSemaphore:
+    def test_try_take_and_give(self):
+        semaphore = Semaphore("s", initial=1)
+        assert semaphore.try_take()
+        assert not semaphore.try_take()
+        assert semaphore.give()
+        assert semaphore.available
+
+    def test_counting_behaviour(self):
+        semaphore = Semaphore("s", initial=2, maximum=2)
+        assert semaphore.try_take()
+        assert semaphore.try_take()
+        assert not semaphore.try_take()
+        assert semaphore.contentions == 1
+
+    def test_give_beyond_maximum_refused(self):
+        semaphore = Semaphore("s", initial=1, maximum=1)
+        assert not semaphore.give()
+
+    def test_binary_semaphore_taken(self):
+        semaphore = make_binary_semaphore("s", taken=True)
+        assert not semaphore.available
+        assert semaphore.give()
+        assert semaphore.available
+
+    def test_mutex_starts_available(self):
+        assert make_mutex("m").available
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore("s", initial=-1)
+
+    def test_invalid_maximum_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore("s", initial=2, maximum=1)

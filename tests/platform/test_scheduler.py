@@ -1,0 +1,303 @@
+"""Unit tests for the fixed-priority preemptive scheduler."""
+
+import pytest
+
+from repro.platform.kernel.simulator import Simulator
+from repro.platform.kernel.time import ms
+from repro.platform.rtos.directives import Compute, Delay, Give, Receive, Send, Take
+from repro.platform.rtos.scheduler import RTOSScheduler, SchedulerError
+from repro.platform.rtos.semaphore import make_binary_semaphore
+from repro.platform.rtos.task import TaskState
+
+
+def make_scheduler(context_switch_us: int = 0):
+    sim = Simulator()
+    return sim, RTOSScheduler(sim, context_switch_us=context_switch_us)
+
+
+class TestPeriodicRelease:
+    def test_periodic_task_runs_every_period(self):
+        sim, rtos = make_scheduler()
+        runs = []
+
+        def job():
+            runs.append(sim.now)
+            yield Compute(ms(1))
+
+        rtos.create_task("periodic", priority=1, job_factory=job, period_us=ms(10))
+        rtos.start()
+        sim.run_until(ms(45))
+        assert runs == [0, ms(10), ms(20), ms(30), ms(40)]
+
+    def test_offset_delays_first_release(self):
+        sim, rtos = make_scheduler()
+        runs = []
+
+        def job():
+            runs.append(sim.now)
+            yield Compute(100)
+
+        rtos.create_task("offset", priority=1, job_factory=job, period_us=ms(10), offset_us=ms(4))
+        rtos.start()
+        sim.run_until(ms(25))
+        assert runs == [ms(4), ms(14), ms(24)]
+
+    def test_overrunning_job_skips_next_release(self):
+        sim, rtos = make_scheduler()
+        runs = []
+
+        def job():
+            runs.append(sim.now)
+            yield Compute(ms(15))  # longer than the 10 ms period
+
+        task = rtos.create_task("overrun", priority=1, job_factory=job, period_us=ms(10))
+        rtos.start()
+        sim.run_until(ms(50))
+        # Releases at 10, 30, 50 are skipped while the previous job still runs.
+        assert runs == [0, ms(20), ms(40)]
+        assert task.stats.deadline_misses >= 2
+
+    def test_completion_statistics(self):
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(2))
+
+        task = rtos.create_task("stats", priority=1, job_factory=job, period_us=ms(10))
+        rtos.start()
+        sim.run_until(ms(35))
+        assert task.stats.activations == 4
+        assert task.stats.completions == 4
+        assert task.stats.max_response_us == ms(2)
+        assert task.stats.cpu_time_us == 4 * ms(2)
+
+
+class TestPreemption:
+    def test_higher_priority_preempts_lower(self):
+        sim, rtos = make_scheduler()
+        finish_times = {}
+
+        def low_job():
+            yield Compute(ms(10))
+            finish_times["low"] = sim.now
+
+        def high_job():
+            yield Compute(ms(2))
+            finish_times["high"] = sim.now
+
+        low = rtos.create_task("low", priority=1, job_factory=low_job)
+        high = rtos.create_task("high", priority=5, job_factory=high_job)
+        rtos.start()
+        rtos.activate(low)
+        rtos.activate(high, delay_us=ms(3))
+        sim.run_until(ms(30))
+        # High runs 3..5; low runs 0..3 and 5..12.
+        assert finish_times["high"] == ms(5)
+        assert finish_times["low"] == ms(12)
+        assert low.stats.preemptions == 1
+
+    def test_equal_priority_does_not_preempt(self):
+        sim, rtos = make_scheduler()
+        finish_times = {}
+
+        def job_a():
+            yield Compute(ms(10))
+            finish_times["a"] = sim.now
+
+        def job_b():
+            yield Compute(ms(2))
+            finish_times["b"] = sim.now
+
+        a = rtos.create_task("a", priority=3, job_factory=job_a)
+        b = rtos.create_task("b", priority=3, job_factory=job_b)
+        rtos.start()
+        rtos.activate(a)
+        rtos.activate(b, delay_us=ms(1))
+        sim.run_until(ms(30))
+        assert finish_times["a"] == ms(10)
+        assert finish_times["b"] == ms(12)
+        assert a.stats.preemptions == 0
+
+    def test_cpu_time_conserved_under_preemption(self):
+        sim, rtos = make_scheduler()
+
+        def low_job():
+            yield Compute(ms(20))
+
+        def high_job():
+            yield Compute(ms(5))
+
+        low = rtos.create_task("low", priority=1, job_factory=low_job)
+        high = rtos.create_task("high", priority=5, job_factory=high_job, period_us=ms(10))
+        rtos.start()
+        rtos.activate(low)
+        sim.run_until(ms(60))
+        assert low.stats.cpu_time_us == ms(20)
+        assert high.stats.cpu_time_us == high.stats.completions * ms(5)
+
+
+class TestContextSwitchOverhead:
+    def test_overhead_added_on_switch(self):
+        sim, rtos = make_scheduler(context_switch_us=500)
+        finish = {}
+
+        def job():
+            yield Compute(ms(2))
+            finish["t"] = sim.now
+
+        task = rtos.create_task("t", priority=1, job_factory=job)
+        rtos.start()
+        rtos.activate(task)
+        sim.run_until(ms(10))
+        assert finish["t"] == ms(2) + 500
+
+
+class TestBlocking:
+    def test_delay_releases_cpu(self):
+        sim, rtos = make_scheduler()
+        order = []
+
+        def sleeper():
+            order.append(("sleep-start", sim.now))
+            yield Delay(ms(5))
+            order.append(("sleep-end", sim.now))
+
+        def worker():
+            yield Compute(ms(3))
+            order.append(("worker-done", sim.now))
+
+        s = rtos.create_task("sleeper", priority=5, job_factory=sleeper)
+        w = rtos.create_task("worker", priority=1, job_factory=worker)
+        rtos.start()
+        rtos.activate(s)
+        rtos.activate(w)
+        sim.run_until(ms(20))
+        assert ("worker-done", ms(3)) in order
+        assert ("sleep-end", ms(5)) in order
+
+    def test_blocking_receive_wakes_on_send(self):
+        sim, rtos = make_scheduler()
+        received = []
+        queue = rtos.create_queue("q")
+
+        def consumer():
+            item = yield Receive(queue, None)
+            received.append((item, sim.now))
+
+        def producer():
+            yield Compute(ms(4))
+            yield Send(queue, "payload")
+
+        c = rtos.create_task("consumer", priority=5, job_factory=consumer)
+        p = rtos.create_task("producer", priority=1, job_factory=producer)
+        rtos.start()
+        rtos.activate(c)
+        rtos.activate(p)
+        sim.run_until(ms(20))
+        assert received == [("payload", ms(4))]
+
+    def test_blocking_receive_times_out(self):
+        sim, rtos = make_scheduler()
+        results = []
+        queue = rtos.create_queue("q")
+
+        def consumer():
+            item = yield Receive(queue, ms(5))
+            results.append((item, sim.now))
+
+        task = rtos.create_task("consumer", priority=1, job_factory=consumer)
+        rtos.start()
+        rtos.activate(task)
+        sim.run_until(ms(20))
+        assert results == [(None, ms(5))]
+
+    def test_nonblocking_receive_returns_none_immediately(self):
+        sim, rtos = make_scheduler()
+        results = []
+        queue = rtos.create_queue("q")
+
+        def consumer():
+            item = yield Receive(queue, 0)
+            results.append((item, sim.now))
+            yield Compute(100)
+
+        task = rtos.create_task("consumer", priority=1, job_factory=consumer)
+        rtos.start()
+        rtos.activate(task)
+        sim.run_until(ms(5))
+        assert results == [(None, 0)]
+
+    def test_send_from_outside_task_context_wakes_waiter(self):
+        sim, rtos = make_scheduler()
+        received = []
+        queue = rtos.create_queue("q")
+
+        def consumer():
+            item = yield Receive(queue, None)
+            received.append((item, sim.now))
+
+        task = rtos.create_task("consumer", priority=1, job_factory=consumer)
+        rtos.start()
+        rtos.activate(task)
+        sim.schedule_at(ms(7), lambda: rtos.send_to_queue(queue, 99))
+        sim.run_until(ms(20))
+        assert received == [(99, ms(7))]
+
+    def test_semaphore_take_and_give_across_tasks(self):
+        sim, rtos = make_scheduler()
+        order = []
+        semaphore = make_binary_semaphore("lock", taken=True)
+
+        def waiter():
+            acquired = yield Take(semaphore, None)
+            order.append(("acquired", acquired, sim.now))
+
+        def releaser():
+            yield Compute(ms(2))
+            yield Give(semaphore)
+
+        w = rtos.create_task("waiter", priority=5, job_factory=waiter)
+        r = rtos.create_task("releaser", priority=1, job_factory=releaser)
+        rtos.start()
+        rtos.activate(w)
+        rtos.activate(r)
+        sim.run_until(ms(10))
+        assert order == [("acquired", True, ms(2))]
+
+
+class TestMisc:
+    def test_duplicate_task_name_rejected(self):
+        _, rtos = make_scheduler()
+        rtos.create_task("t", priority=1, job_factory=lambda: iter(()))
+        with pytest.raises(SchedulerError):
+            rtos.create_task("t", priority=1, job_factory=lambda: iter(()))
+
+    def test_unknown_directive_rejected(self):
+        sim, rtos = make_scheduler()
+
+        def bad_job():
+            yield "not a directive"
+
+        task = rtos.create_task("bad", priority=1, job_factory=bad_job)
+        rtos.start()
+        with pytest.raises(SchedulerError):
+            rtos.activate(task)
+            sim.run_until(ms(5))
+
+    def test_cpu_utilization(self):
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(5))
+
+        rtos.create_task("busy", priority=1, job_factory=job, period_us=ms(10))
+        rtos.start()
+        sim.run_until(ms(100))
+        assert rtos.cpu_utilization() == pytest.approx(0.5, abs=0.05)
+
+    def test_get_task_by_name(self):
+        _, rtos = make_scheduler()
+        task = rtos.create_task("named", priority=2, job_factory=lambda: iter(()))
+        assert rtos.get_task("named") is task
+        with pytest.raises(KeyError):
+            rtos.get_task("missing")

@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.platform.kernel.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(30, lambda: fired.append("c"))
+        sim.schedule_at(10, lambda: fired.append("a"))
+        sim.schedule_at(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_in_priority_then_fifo_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append("low"), priority=5)
+        sim.schedule_at(10, lambda: fired.append("first"), priority=0)
+        sim.schedule_at(10, lambda: fired.append("second"), priority=0)
+        sim.run()
+        assert fired == ["first", "second", "low"]
+
+    def test_relative_schedule_uses_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10, lambda: sim.schedule(5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [15]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule_at(123, lambda: None)
+        sim.run()
+        assert sim.now == 123
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(50, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(10, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(10, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled and not handle.fired
+
+    def test_cancel_twice_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule_at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+        assert not handle.fired
+
+    def test_pending_flag(self):
+        sim = Simulator()
+        handle = sim.schedule_at(10, lambda: None)
+        assert handle.pending
+        sim.run()
+        assert not handle.pending and handle.fired
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(20, lambda: fired.append(20))
+        sim.schedule_at(30, lambda: fired.append(30))
+        sim.run_until(20)
+        assert fired == [10, 20]
+        assert sim.now == 20
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(500)
+        assert sim.now == 500
+
+    def test_run_until_then_continue(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(40, lambda: fired.append(40))
+        sim.run_until(20)
+        sim.run_until(50)
+        assert fired == [10, 40]
+
+    def test_run_until_past_target_raises(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.run_until(50)
+
+
+class TestRunBounds:
+    def test_run_raises_on_livelock(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0, reschedule)
+
+        sim.schedule(0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_stop_requests_halt(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10, lambda: (fired.append(10), sim.stop()))
+        sim.schedule_at(20, lambda: fired.append(20))
+        sim.run()
+        assert fired == [10]

@@ -1,0 +1,125 @@
+"""Property-based tests of traces, matching and delay decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delays import DelaySegments
+from repro.core.four_variables import Event, EventKind, Trace
+from repro.core.oracle import ResponseMatcher
+from repro.core.requirements import EventSpec
+
+
+# ----------------------------------------------------------------------
+# Trace invariants
+# ----------------------------------------------------------------------
+timestamps = st.lists(st.integers(min_value=0, max_value=10_000_000), min_size=0, max_size=50)
+
+
+@given(timestamps)
+def test_trace_preserves_sorted_insertion_order(times):
+    ordered = sorted(times)
+    trace = Trace(Event(EventKind.M, "m-X", True, t) for t in ordered)
+    assert [event.timestamp_us for event in trace] == ordered
+
+
+@given(timestamps, st.integers(min_value=0, max_value=10_000_000))
+def test_select_after_never_returns_earlier_events(times, cutoff):
+    trace = Trace(Event(EventKind.M, "m-X", True, t) for t in sorted(times))
+    selected = trace.select(after_us=cutoff)
+    assert all(event.timestamp_us >= cutoff for event in selected)
+
+
+@given(timestamps)
+def test_restricted_to_is_subset(times):
+    trace = Trace(Event(EventKind.M, "m-X", True, t) for t in sorted(times))
+    restricted = trace.restricted_to([EventKind.C])
+    assert len(restricted) == 0
+    restricted_m = trace.restricted_to([EventKind.M])
+    assert len(restricted_m) == len(trace)
+
+
+# ----------------------------------------------------------------------
+# Matching invariants
+# ----------------------------------------------------------------------
+@st.composite
+def stimulus_response_schedules(draw):
+    """Random stimulus times and (optional) response latencies."""
+    count = draw(st.integers(min_value=1, max_value=10))
+    gaps = draw(st.lists(st.integers(min_value=1_000, max_value=500_000), min_size=count, max_size=count))
+    stimulus_times = []
+    current = 0
+    for gap in gaps:
+        current += gap
+        stimulus_times.append(current)
+    latencies = draw(
+        st.lists(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=400_000)),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return stimulus_times, latencies
+
+
+@given(stimulus_response_schedules())
+@settings(max_examples=60)
+def test_matcher_pairs_are_causal_and_ordered(schedule):
+    stimulus_times, latencies = schedule
+    events = []
+    for stimulus_time, latency in zip(stimulus_times, latencies):
+        events.append(Event(EventKind.M, "m-X", True, stimulus_time))
+        if latency is not None:
+            events.append(Event(EventKind.C, "c-X", 1, stimulus_time + latency))
+    trace = Trace(sorted(events, key=lambda event: event.timestamp_us))
+    matcher = ResponseMatcher(EventSpec.becomes("m-X", True), EventSpec.becomes_positive("c-X"))
+    pairs = matcher.match(trace)
+
+    assert len(pairs) == len(stimulus_times)
+    previous_response = -1
+    for pair in pairs:
+        if pair.response is None:
+            continue
+        # Causality: the response never precedes its stimulus.
+        assert pair.response.timestamp_us >= pair.stimulus.timestamp_us
+        # FIFO: responses are consumed in non-decreasing time order.
+        assert pair.response.timestamp_us >= previous_response
+        previous_response = pair.response.timestamp_us
+
+
+@given(stimulus_response_schedules(), st.integers(min_value=1_000, max_value=300_000))
+@settings(max_examples=60)
+def test_matcher_timeout_bounds_latency(schedule, timeout_us):
+    stimulus_times, latencies = schedule
+    events = []
+    for stimulus_time, latency in zip(stimulus_times, latencies):
+        events.append(Event(EventKind.M, "m-X", True, stimulus_time))
+        if latency is not None:
+            events.append(Event(EventKind.C, "c-X", 1, stimulus_time + latency))
+    trace = Trace(sorted(events, key=lambda event: event.timestamp_us))
+    matcher = ResponseMatcher(EventSpec.becomes("m-X", True), EventSpec.becomes_positive("c-X"))
+    for pair in matcher.match(trace, timeout_us=timeout_us):
+        if pair.latency_us is not None:
+            assert pair.latency_us <= timeout_us
+
+
+# ----------------------------------------------------------------------
+# Delay decomposition invariants
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=0, max_value=1_000_000),
+    st.integers(min_value=0, max_value=200_000),
+    st.integers(min_value=0, max_value=200_000),
+    st.integers(min_value=0, max_value=200_000),
+)
+def test_complete_segments_always_sum_to_end_to_end(m_time, input_delay, code_delay, output_delay):
+    segments = DelaySegments(
+        sample_index=0,
+        m_time_us=m_time,
+        i_time_us=m_time + input_delay,
+        o_time_us=m_time + input_delay + code_delay,
+        c_time_us=m_time + input_delay + code_delay + output_delay,
+    )
+    assert segments.complete
+    assert segments.segments_consistent()
+    assert segments.end_to_end_us == input_delay + code_delay + output_delay
+    assert segments.dominant_segment() in {"input", "code", "output"}
