@@ -1,37 +1,25 @@
 """Ablation A2: interference load versus REQ1 violations on scheme 3.
 
 Scales the CPU bursts of scheme 3's interfering threads from zero (equivalent
-to scheme 2) to 1.2x the default profile and regenerates the REQ1 R-testing
-verdicts at every point.  The sweep shows the mechanism behind the paper's
-scheme-3 results: violations (and eventually MAX samples) appear as the
-higher-priority interference approaches CPU saturation.
+to scheme 2) to 1.2x the default profile — one campaign grid of scheme-3
+points (:func:`repro.campaign.interference_sweep_spec`) — and regenerates the
+REQ1 R-testing verdicts at every point.  The sweep shows the mechanism behind
+the paper's scheme-3 results: violations (and eventually MAX samples) appear
+as the higher-priority interference approaches CPU saturation.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.analysis import render_sweep, sweep_point
-from repro.core import RTestRunner
-from repro.gpca import PumpBuildOptions, make_scheme3_system
-from repro.gpca.scenarios import bolus_request_test_case
-from repro.integration.interference import InterferedConfig
+from repro.analysis import render_sweep
+from repro.campaign import CampaignRunner, interference_sweep_spec
 
 SCALES = (0.0, 0.4, 0.8, 1.0, 1.2)
 SAMPLES = 6
 
 
 def run_sweep():
-    test_case = bolus_request_test_case(samples=SAMPLES, seed=5)
-    points = []
-    for scale in SCALES:
-        def factory(scale=scale):
-            config = InterferedConfig().scaled_interference(scale)
-            return make_scheme3_system(PumpBuildOptions(seed=29), config)
-
-        report = RTestRunner(factory).run(test_case)
-        points.append(sweep_point(scale, report))
-    return points
+    spec = interference_sweep_spec(scales=SCALES, samples=SAMPLES)
+    return CampaignRunner(spec).run().sweep_points("interference_scale")
 
 
 def test_interference_sweep(benchmark, write_artifact):

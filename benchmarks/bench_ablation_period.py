@@ -1,39 +1,25 @@
 """Ablation A1: how the single-threaded scheme's polling period drives violations.
 
 The paper's scheme 1 polls sensors and steps CODE(M) every 25 ms.  This sweep
-varies that period and regenerates the REQ1 R-testing verdicts for each value,
-showing the crossover from conforming (short periods) to violating (long
-periods) behaviour — the design-space view behind the paper's choice to report
-scheme 1 at 25 ms.
+varies that period — one campaign grid of scheme-1 points
+(:func:`repro.campaign.period_sweep_spec`) — and regenerates the REQ1
+R-testing verdicts for each value, showing the crossover from conforming
+(short periods) to violating (long periods) behaviour — the design-space view
+behind the paper's choice to report scheme 1 at 25 ms.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.analysis import render_sweep, sweep_point
-from repro.core import RTestRunner
-from repro.gpca import PumpBuildOptions, bolus_request_test_case, make_scheme1_system
-from repro.integration.single_threaded import SingleThreadedConfig
-from repro.platform.kernel.time import ms
+from repro.analysis import render_sweep
+from repro.campaign import CampaignRunner, period_sweep_spec
 
 PERIODS_MS = (10, 15, 20, 25, 35, 50)
 SAMPLES = 6
 
 
 def run_sweep():
-    test_case = bolus_request_test_case(samples=SAMPLES, seed=5)
-    points = []
-    for period_ms in PERIODS_MS:
-        def factory(period_ms=period_ms):
-            return make_scheme1_system(
-                PumpBuildOptions(seed=17),
-                SingleThreadedConfig(period_us=ms(period_ms)),
-            )
-
-        report = RTestRunner(factory).run(test_case)
-        points.append(sweep_point(float(period_ms), report))
-    return points
+    spec = period_sweep_spec(periods_ms=PERIODS_MS, samples=SAMPLES)
+    return CampaignRunner(spec).run().sweep_points("period_ms")
 
 
 def test_period_sweep(benchmark, write_artifact):

@@ -10,7 +10,6 @@ to fail — demonstrating the checker is not vacuous.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.gpca import (
     build_extended_statechart,

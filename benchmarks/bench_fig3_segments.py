@@ -3,33 +3,32 @@
 Fig. 3 of the paper illustrates, for one bolus request, (a) the model-level
 timing, (b) the R-testing view (m -> c), (c) the M-testing I/O view
 (Input/CODE(M)/Output delays) and (d) the M-testing transition view
-(Trans1/Trans2 delays).  This benchmark regenerates all four views from a
-scheme-1 and a scheme-3 execution and checks their internal consistency.
+(Trans1/Trans2 delays).  This benchmark regenerates all four views — the
+scheme executions now run through the campaign engine — and checks their
+internal consistency.
 """
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import fig3_views, model_timing_view
-from repro.core import MTestAnalyzer, RTestRunner
-from repro.gpca import (
-    bolus_request_test_case,
-    build_fig2_statechart,
-    build_pump_interface,
-    req1_bolus_start,
-    scheme_factory,
-)
+from repro.campaign import CampaignRunner, CampaignSpec, CasePoint, SchemePoint
+from repro.gpca import build_fig2_statechart, req1_bolus_start
+
+
+def fig3_spec(scheme: int, seed: int) -> CampaignSpec:
+    """A one-run campaign: one scheme executing the Fig. 3 bolus scenario."""
+    return CampaignSpec(
+        name=f"fig3-scheme{scheme}",
+        schemes=(SchemePoint(scheme, sut_seed=seed),),
+        cases=(CasePoint("bolus-request", samples=5, seed=3),),
+    )
 
 
 def build_views(scheme: int, seed: int):
     chart = build_fig2_statechart()
     requirement = req1_bolus_start()
-    test_case = bolus_request_test_case(samples=5, seed=3)
-    r_report = RTestRunner(scheme_factory(scheme, seed=seed)).run(test_case)
-    analyzer = MTestAnalyzer(build_pump_interface(), requirement)
-    m_report = analyzer.analyze(r_report.trace, sut_name=r_report.sut_name)
-    return r_report, fig3_views(chart, requirement, m_report)
+    record = CampaignRunner(fig3_spec(scheme, seed)).run().records[0]
+    return record.r_report(), fig3_views(chart, requirement, record.m_report())
 
 
 def test_fig3_model_view(benchmark, write_artifact):

@@ -1,8 +1,9 @@
 """Benchmark: Table I — measured time-delays for the bolus-request scenario.
 
-Reproduces the paper's Table I: ten R-testing samples of REQ1 per
-implementation scheme plus the M-testing delay segments, and checks the
-qualitative shape reported by the paper:
+Reproduces the paper's Table I through the campaign engine: the ten R-testing
+samples of REQ1 per implementation scheme plus the M-testing delay segments
+are one three-run campaign grid (:func:`repro.campaign.table_one_spec`).  The
+qualitative shape the paper reports is then checked on the aggregate:
 
 * scheme 2 (multi-threaded, period sum < 100 ms) conforms;
 * scheme 1 (single-threaded 25 ms loop) shows occasional, marginal violations;
@@ -14,34 +15,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import SchemeResult, TableOne
-from repro.core import MTestAnalyzer, RTestRunner
-from repro.gpca import (
-    bolus_request_test_case,
-    build_pump_interface,
-    req1_bolus_start,
-    scheme_factory,
-    scheme_name,
-)
+from repro.analysis import TableOne
+from repro.campaign import CampaignRunner, table_one_spec
 
 SAMPLES = 10
 CASE_SEED = 7
-SCHEME_SEEDS = {1: 11, 2: 22, 3: 33}
-
-
-def run_scheme(scheme: int) -> SchemeResult:
-    test_case = bolus_request_test_case(samples=SAMPLES, seed=CASE_SEED)
-    r_report = RTestRunner(scheme_factory(scheme, seed=SCHEME_SEEDS[scheme])).run(test_case)
-    analyzer = MTestAnalyzer(build_pump_interface(), req1_bolus_start())
-    m_report = analyzer.analyze(r_report.trace, sut_name=r_report.sut_name)
-    return SchemeResult(scheme, scheme_name(scheme), r_report, m_report)
 
 
 def build_table() -> TableOne:
-    table = TableOne()
-    for scheme in (1, 2, 3):
-        table.add(run_scheme(scheme))
-    return table
+    """Run the Table I campaign grid and rebuild the table from the aggregate."""
+    result = CampaignRunner(table_one_spec(samples=SAMPLES, case_seed=CASE_SEED)).run()
+    return result.table_one()
 
 
 @pytest.fixture(scope="module")

@@ -40,9 +40,9 @@ from repro.integration import (
     SingleThreadedConfig,
     SingleThreadedSystem,
 )
-from repro.model import StatechartBuilder, at, before
+from repro.model import StatechartBuilder, before
 from repro.model.verification import BoundedResponseChecker
-from repro.platform import PatientEnvironment, PumpHardware, RandomSource, Simulator
+from repro.platform import RandomSource, Simulator
 from repro.platform.devices.device import EventInputDevice, OutputDevice
 from repro.platform.kernel.random import uniform
 from repro.platform.kernel.time import ms

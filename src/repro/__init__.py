@@ -19,7 +19,11 @@ The package is organised by layer, mirroring the paper's methodology:
 * :mod:`repro.gpca` — the infusion-pump case study;
 * :mod:`repro.baselines` — black-box online testing and functional-conformance
   baselines from the related work;
-* :mod:`repro.analysis` — statistics, Table I rendering and figure data.
+* :mod:`repro.analysis` — statistics, Table I rendering and figure data;
+* :mod:`repro.campaign` — the parallel test-campaign engine: declarative
+  cartesian grids of schemes × scenarios × configurations, sharded across
+  worker processes with content-keyed artifact caching and bit-reproducible
+  aggregation (``repro campaign`` on the command line).
 
 Quickstart::
 
@@ -33,16 +37,24 @@ Quickstart::
     if not report.passed:
         analyzer = MTestAnalyzer(build_pump_interface(), req1_bolus_start())
         print(analyzer.analyze_violations(report).summary())
+
+Campaign quickstart (the Table I grid, sharded across four workers)::
+
+    from repro.campaign import CampaignRunner, table_one_spec
+
+    result = CampaignRunner(table_one_spec(), workers=4).run()
+    print(result.table_one().render())
 """
 
-from . import analysis, baselines, codegen, core, gpca, integration, model, platform
+from . import analysis, baselines, campaign, codegen, core, gpca, integration, model, platform
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "analysis",
     "baselines",
+    "campaign",
     "codegen",
     "core",
     "gpca",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from .figures import SweepPoint
 from .tables import TableOne

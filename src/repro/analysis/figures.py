@@ -18,7 +18,7 @@ versus polling period, versus interference load).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.delays import DelaySegments
@@ -98,7 +98,6 @@ class Fig3View:
             )
         else:
             lines.append("  (b) R-testing:    response not observed (MAX)")
-        io = self.io_view
         lines.append(
             "  (c) M-testing:    "
             f"input {self._fmt(self.segments.input_delay_us)}, "

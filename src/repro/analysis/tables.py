@@ -10,7 +10,7 @@ table (plus a structured row form the benchmarks and tests consume).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core.m_testing import MTestReport
 from ..core.r_testing import RTestReport

@@ -15,7 +15,7 @@ segments, whereas the layered M-testing attributes every violating sample.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..core.four_variables import EventKind, Trace
 from ..core.requirements import TimingRequirement

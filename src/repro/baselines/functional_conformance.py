@@ -15,7 +15,7 @@ which is exactly the gap the paper's framework closes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ..codegen.generated import GeneratedCode
 from ..codegen.generator import GeneratedArtifacts

@@ -1,0 +1,81 @@
+"""Parallel test-campaign engine for R-/M-testing at scale.
+
+The paper's evaluation — many R-test cases across three implementation
+schemes and several period/interference configurations — is an
+embarrassingly-parallel grid.  This package runs such grids as *campaigns*:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`, the declarative
+  cartesian grid (scheme points × scenario points) that expands to picklable
+  :class:`RunSpec` units with deterministically derived seeds;
+* :mod:`repro.campaign.cache` — :class:`ArtifactCache`, content-keyed caching
+  so statechart build + code generation run once per distinct model per
+  process instead of once per configuration;
+* :mod:`repro.campaign.worker` — :func:`execute_run`, the pure run function
+  dispatched to workers;
+* :mod:`repro.campaign.runner` — :class:`CampaignRunner`, which shards the
+  grid across a ``ProcessPoolExecutor`` (with a deterministic single-process
+  fallback);
+* :mod:`repro.campaign.results` — :class:`CampaignResult`, the grid-ordered
+  aggregate that feeds :mod:`repro.analysis` (Table I, sweep series) and the
+  ``repro campaign`` CLI.
+
+Campaign aggregates are byte-identical for any worker count: every run is a
+pure function of its spec, seeds derive from grid coordinates rather than
+execution order, and records are re-sorted by grid index before aggregation.
+"""
+
+from .cache import ArtifactCache, chart_fingerprint, process_cache
+from .results import CampaignResult, RunRecord
+from .runner import CampaignRunner, run_campaign, shard_grid
+from .spec import (
+    CASE_BUILDERS,
+    M_TEST_ALL,
+    M_TEST_NONE,
+    M_TEST_POLICIES,
+    M_TEST_VIOLATIONS,
+    PRESETS,
+    CampaignSpec,
+    CasePoint,
+    RunSpec,
+    SchemePoint,
+    build_case,
+    case_requirement,
+    derive_seed,
+    full_grid_spec,
+    interference_sweep_spec,
+    period_sweep_spec,
+    preset_spec,
+    table_one_spec,
+)
+from .worker import execute_run, execute_shard
+
+__all__ = [
+    "ArtifactCache",
+    "CASE_BUILDERS",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CasePoint",
+    "M_TEST_ALL",
+    "M_TEST_NONE",
+    "M_TEST_POLICIES",
+    "M_TEST_VIOLATIONS",
+    "PRESETS",
+    "RunRecord",
+    "RunSpec",
+    "SchemePoint",
+    "build_case",
+    "case_requirement",
+    "chart_fingerprint",
+    "derive_seed",
+    "execute_run",
+    "execute_shard",
+    "full_grid_spec",
+    "interference_sweep_spec",
+    "period_sweep_spec",
+    "preset_spec",
+    "process_cache",
+    "run_campaign",
+    "shard_grid",
+    "table_one_spec",
+]

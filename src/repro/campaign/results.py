@@ -1,0 +1,243 @@
+"""Campaign results: per-run records and the campaign-level aggregate.
+
+A :class:`RunRecord` is the worker's return value for one grid point.  It
+carries only built-in types (the JSON-shaped payloads of the existing
+serialization module), so it crosses process boundaries cheaply and its
+canonical rendering is byte-identical no matter which worker produced it.
+Wall-clock timings are kept *outside* the canonical payload — they are the
+one legitimately non-deterministic output of a campaign.
+
+:class:`CampaignResult` aggregates the records in grid order and feeds the
+existing analysis layer: :meth:`CampaignResult.table_one` rebuilds the
+paper's Table I and :meth:`CampaignResult.sweep_points` the Fig.-style
+ablation series, both from the serialized payloads alone.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..analysis.figures import SweepPoint, sweep_point
+from ..analysis.tables import SchemeResult, TableOne
+from ..core.m_testing import MTestReport
+from ..core.r_testing import RTestReport
+from ..core.serialization import m_report_from_dict, r_report_from_dict
+from ..gpca.pump import scheme_name
+from .spec import CampaignSpec, RunSpec, case_requirement
+
+RESULT_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The outcome of one campaign run (picklable, deterministic payload)."""
+
+    spec: RunSpec
+    r_payload: Dict[str, Any]
+    m_payload: Optional[Dict[str, Any]] = None
+    #: Worker-side wall-clock of this run; excluded from the canonical dict.
+    elapsed_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Reconstruction of the report objects the analysis layer consumes
+    # ------------------------------------------------------------------
+    def r_report(self) -> RTestReport:
+        """Rebuild the R-test report (test case regenerated from the spec).
+
+        Memoised: the aggregate consumers (summary, table, CSV) each walk the
+        records, and regenerating the stimulus schedule per walk is pure
+        waste.  The payload is immutable once the record exists, so caching
+        is safe; ``object.__setattr__`` is the standard escape hatch for a
+        frozen dataclass.
+        """
+        cached = self.__dict__.get("_r_report_cache")
+        if cached is None:
+            cached = r_report_from_dict(self.r_payload, self.spec.test_case())
+            object.__setattr__(self, "_r_report_cache", cached)
+        return cached
+
+    def m_report(self) -> Optional[MTestReport]:
+        """Rebuild the M-test report, if this run performed M-testing."""
+        if self.m_payload is None:
+            return None
+        # The requirement is sample-independent; case_requirement's one-sample
+        # default avoids regenerating the run's full stimulus schedule here.
+        return m_report_from_dict(self.m_payload, case_requirement(self.spec.case))
+
+    # ------------------------------------------------------------------
+    @property
+    def passed(self) -> bool:
+        return bool(self.r_payload.get("passed"))
+
+    @property
+    def violation_count(self) -> int:
+        return int(self.r_payload.get("violations", 0))
+
+    @property
+    def timeout_count(self) -> int:
+        return int(self.r_payload.get("timeouts", 0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical (deterministic) rendering of this record."""
+        return {
+            "spec": self.spec.to_dict(),
+            "r": self.r_payload,
+            "m": self.m_payload,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of a full campaign, ordered by grid index."""
+
+    spec: CampaignSpec
+    records: List[RunRecord] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.records = sorted(self.records, key=lambda record: record.spec.index)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record_for(self, *, scheme: Optional[int] = None, case: Optional[str] = None,
+                   period_us: Optional[int] = None,
+                   interference_scale: Optional[float] = None) -> RunRecord:
+        """The single record matching the given grid coordinates."""
+        matches = [
+            record
+            for record in self.records
+            if (scheme is None or record.spec.scheme == scheme)
+            and (case is None or record.spec.case == case)
+            and (period_us is None or record.spec.period_us == period_us)
+            and (interference_scale is None or record.spec.interference_scale == interference_scale)
+        ]
+        if len(matches) != 1:
+            raise LookupError(
+                f"expected exactly one matching record, found {len(matches)} "
+                f"(scheme={scheme}, case={case}, period_us={period_us}, "
+                f"interference_scale={interference_scale})"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # Bridges into repro.analysis
+    # ------------------------------------------------------------------
+    def table_one(self, case: str = "bolus-request") -> TableOne:
+        """Rebuild the paper's Table I from this campaign's records."""
+        table = TableOne()
+        for record in self.records:
+            if record.spec.case != case:
+                continue
+            table.add(
+                SchemeResult(
+                    scheme=record.spec.scheme,
+                    label=scheme_name(record.spec.scheme),
+                    r_report=record.r_report(),
+                    m_report=record.m_report(),
+                )
+            )
+        return table
+
+    def sweep_points(self, axis: str) -> List[SweepPoint]:
+        """The ablation sweep series along ``axis``.
+
+        ``axis`` is ``"period_ms"`` (scheme 1 polling period) or
+        ``"interference_scale"`` (scheme 3 burst scaling).
+        """
+        points = []
+        for record in self.records:
+            if axis == "period_ms":
+                if record.spec.period_us is None:
+                    continue
+                parameter = record.spec.period_us / 1000.0
+            elif axis == "interference_scale":
+                if record.spec.interference_scale is None:
+                    continue
+                parameter = record.spec.interference_scale
+            else:
+                raise ValueError(f"unknown sweep axis {axis!r}")
+            points.append(sweep_point(parameter, record.r_report()))
+        return points
+
+    # ------------------------------------------------------------------
+    # Summaries and export
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """One compact row per run (used by the CLI listing and the CSV export)."""
+        rows = []
+        for record in self.records:
+            r_report = record.r_report()
+            max_latency = r_report.max_latency_us
+            rows.append(
+                {
+                    "index": record.spec.index,
+                    "label": record.spec.label,
+                    "scheme": record.spec.scheme,
+                    "case": record.spec.case,
+                    "samples": len(r_report.samples),
+                    "passed": record.passed,
+                    "violations": record.violation_count,
+                    "timeouts": record.timeout_count,
+                    "max_latency_ms": None if max_latency is None else round(max_latency / 1000, 1),
+                }
+            )
+        return rows
+
+    def render_summary(self) -> str:
+        """Plain-text per-run listing of the campaign."""
+        header = (
+            f"{'run':>4} | {'configuration':<38} | {'samples':>7} | {'verdict':>7} | "
+            f"{'viol':>4} | {'MAX':>4} | {'worst (ms)':>10}"
+        )
+        lines = [f"campaign {self.spec.name!r}: {len(self.records)} runs", header, "-" * len(header)]
+        for row in self.summary_rows():
+            worst = "-" if row["max_latency_ms"] is None else f"{row['max_latency_ms']:.1f}"
+            lines.append(
+                f"{row['index']:>4} | {row['label']:<38} | {row['samples']:>7} | "
+                f"{'PASS' if row['passed'] else 'FAIL':>7} | {row['violations']:>4} | "
+                f"{row['timeouts']:>4} | {worst:>10}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical aggregate: identical for 1 and N workers, by design.
+
+        Timing fields (``wall_seconds``, per-record ``elapsed_s``, worker
+        count) are deliberately excluded; use :meth:`timing_dict` for those.
+        """
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "campaign": self.spec.to_dict(),
+            "runs": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """The per-run summary table as CSV."""
+        rows = self.summary_rows()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()) if rows else [])
+        writer.writeheader()
+        writer.writerows(rows)
+        return buffer.getvalue()
+
+    def timing_dict(self) -> Dict[str, Any]:
+        """The non-deterministic side channel: wall-clock and worker count."""
+        return {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "run_seconds": {
+                str(record.spec.index): record.elapsed_s for record in self.records
+            },
+        }

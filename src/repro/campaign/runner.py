@@ -1,0 +1,86 @@
+"""The campaign runner: shards the grid across worker processes.
+
+``CampaignRunner(spec, workers=N)`` expands the spec's grid, splits it into
+``N`` round-robin shards and executes them on a ``ProcessPoolExecutor``.
+With ``workers <= 1`` (or when process pools are unavailable, e.g. in a
+restricted sandbox) the same shard function runs in-process — the
+*deterministic single-process fallback*.  Because every run is a pure
+function of its spec and records are re-ordered by grid index before
+aggregation, the resulting :class:`CampaignResult` canonical payload is
+byte-identical for any worker count.
+
+Round-robin sharding (``runs[i::N]``) balances the load when the grid is
+sorted by configuration: expensive points (e.g. interfered-scheme runs) end
+up spread across shards instead of stacked on one worker.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Tuple
+
+from .results import CampaignResult, RunRecord
+from .spec import CampaignSpec, RunSpec
+from .worker import execute_shard
+
+
+def shard_grid(runs: Sequence[RunSpec], shards: int) -> List[Tuple[RunSpec, ...]]:
+    """Split the expanded grid into round-robin shards (no empty shards)."""
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    shards = min(shards, len(runs)) or 1
+    return [tuple(runs[offset::shards]) for offset in range(shards)]
+
+
+class CampaignRunner:
+    """Executes a campaign spec, serially or across a process pool."""
+
+    def __init__(self, spec: CampaignSpec, *, workers: int = 1) -> None:
+        if workers < 0:
+            raise ValueError("worker count cannot be negative")
+        self.spec = spec
+        self.workers = workers
+        #: Set after :meth:`run` when a pool failure forced the serial path.
+        self.fell_back_to_serial = False
+        #: The error message of the pool failure, when one occurred.
+        self.fallback_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute every run of the grid and aggregate in grid order."""
+        runs = self.spec.expand()
+        started = time.perf_counter()
+        if self.workers <= 1 or len(runs) <= 1:
+            records = execute_shard(runs)
+            workers_used = 1
+        else:
+            records = self._run_sharded(runs)
+            workers_used = 1 if self.fell_back_to_serial else min(self.workers, len(runs))
+        return CampaignResult(
+            spec=self.spec,
+            records=list(records),
+            workers=workers_used,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_sharded(self, runs: Sequence[RunSpec]) -> List[RunRecord]:
+        shards = shard_grid(runs, self.workers)
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards)) as executor:
+                shard_results = list(executor.map(execute_shard, shards))
+        except (OSError, BrokenProcessPool) as error:  # pool unavailable: run serially
+            self.fell_back_to_serial = True
+            self.fallback_reason = str(error)
+            return execute_shard(runs)
+        return [record for shard_records in shard_results for record in shard_records]
+
+
+def run_campaign(
+    spec: CampaignSpec, *, workers: int = 1, runner: Optional[CampaignRunner] = None
+) -> CampaignResult:
+    """Convenience wrapper: build a runner and execute the campaign."""
+    runner = runner or CampaignRunner(spec, workers=workers)
+    return runner.run()

@@ -1,0 +1,401 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a cartesian grid of implementation-scheme configurations ×
+test scenarios.  Each point of the grid expands to one :class:`RunSpec` — a
+frozen, picklable description of a single R-/M-testing execution that a
+worker process can carry out without any shared state.  Everything a run
+needs (scheme, model, scenario, sample count, every seed) lives in the spec,
+so a run is a pure function of its ``RunSpec`` and campaigns aggregate
+bit-identically regardless of how the grid is sharded across workers.
+
+Seeds that the user does not pin explicitly are *derived*: a stable hash of
+the campaign's base seed and the run's coordinates in the grid.  Derivation
+depends only on the coordinates — never on execution order — which is what
+keeps a 1-worker and an N-worker campaign byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.requirements import TimingRequirement
+from ..core.test_generation import RTestCase, Stimulus
+from .cache import MODEL_BUILDERS
+from ..gpca.scenarios import (
+    alarm_clear_test_case,
+    bolus_request_test_case,
+    empty_reservoir_alarm_test_case,
+    empty_reservoir_stop_test_case,
+)
+from ..platform.kernel.time import ms
+
+#: M-testing policies a campaign can request per run.
+M_TEST_ALL = "all"
+M_TEST_VIOLATIONS = "violations"
+M_TEST_NONE = "none"
+M_TEST_POLICIES = (M_TEST_ALL, M_TEST_VIOLATIONS, M_TEST_NONE)
+
+#: Models the grid can target — derived from the artifact cache's builder
+#: registry so spec validation and worker resolution share one source of truth.
+KNOWN_MODELS = tuple(sorted(MODEL_BUILDERS))
+
+
+def derive_seed(base_seed: int, *coordinates: object) -> int:
+    """A stable 31-bit seed from the campaign seed and grid coordinates.
+
+    Uses SHA-256 rather than ``hash()`` so the value is identical across
+    processes and interpreter invocations (``hash()`` is salted per process).
+    """
+    key = ":".join([str(base_seed), *[repr(coordinate) for coordinate in coordinates]])
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+def _bolus(samples: int, seed: int) -> RTestCase:
+    return bolus_request_test_case(samples, seed=seed)
+
+
+def _empty_alarm(samples: int, seed: int) -> RTestCase:
+    return empty_reservoir_alarm_test_case(samples)
+
+
+def _empty_stop(samples: int, seed: int) -> RTestCase:
+    return empty_reservoir_stop_test_case(samples)
+
+
+def _alarm_clear(samples: int, seed: int) -> RTestCase:
+    return alarm_clear_test_case(samples)
+
+
+#: Scenario name -> builder.  Builders take (samples, seed); scenarios with a
+#: fixed deterministic schedule simply ignore the seed.
+CASE_BUILDERS: Dict[str, Callable[[int, int], RTestCase]] = {
+    "bolus-request": _bolus,
+    "empty-reservoir-alarm": _empty_alarm,
+    "empty-reservoir-stop": _empty_stop,
+    "alarm-clear": _alarm_clear,
+}
+
+
+#: How far to delay every stimulus when targeting the extended model, whose
+#: 500 ms power-on self test ignores events delivered before it completes
+#: (the stock schedules start at 150 ms, so +650 ms puts the first event at
+#: 800 ms — the offset the integration tests have always used).
+EXTENDED_MODEL_SHIFT_US = ms(650)
+
+
+def _shifted_case(case: RTestCase, delta_us: int) -> RTestCase:
+    """A copy of a test case with every stimulus delayed by ``delta_us``."""
+    return RTestCase(
+        name=case.name,
+        requirement=case.requirement,
+        stimuli=tuple(
+            Stimulus(stimulus.at_us + delta_us, stimulus.variable) for stimulus in case.stimuli
+        ),
+        description=case.description,
+    )
+
+
+def build_case(case: str, samples: int, seed: int, *, model: str = "fig2") -> RTestCase:
+    """Instantiate a named scenario's stimulus schedule (deterministic).
+
+    For the extended model the whole schedule is shifted past the power-on
+    self test — a stimulus delivered during the self test is ignored by the
+    model (and therefore by a conformant implementation), which would turn
+    into artifact MAX verdicts.
+    """
+    try:
+        builder = CASE_BUILDERS[case]
+    except KeyError:
+        known = ", ".join(sorted(CASE_BUILDERS))
+        raise ValueError(f"unknown campaign scenario {case!r} (known: {known})") from None
+    built = builder(samples, seed)
+    if model == "extended":
+        built = _shifted_case(built, EXTENDED_MODEL_SHIFT_US)
+    return built
+
+
+def case_requirement(case: str, samples: int = 1, seed: int = 0) -> TimingRequirement:
+    """The timing requirement a named scenario is judged against."""
+    return build_case(case, samples, seed).requirement
+
+
+# ----------------------------------------------------------------------
+# Grid axes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemePoint:
+    """One scheme configuration on the campaign's scheme axis."""
+
+    scheme: int
+    #: Polling-period override of the single-threaded scheme (scheme 1 only).
+    period_us: Optional[int] = None
+    #: Interference burst scaling of the interfered scheme (scheme 3 only).
+    interference_scale: Optional[float] = None
+    #: Explicit system seed; derived from the campaign seed when ``None``.
+    sut_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in (1, 2, 3):
+            raise ValueError(f"unknown implementation scheme {self.scheme!r}")
+        if self.period_us is not None and self.scheme != 1:
+            raise ValueError("period_us only applies to scheme 1")
+        if self.interference_scale is not None and self.scheme != 3:
+            raise ValueError("interference_scale only applies to scheme 3")
+
+    @property
+    def label(self) -> str:
+        parts = [f"scheme{self.scheme}"]
+        if self.period_us is not None:
+            parts.append(f"period={self.period_us / 1000:g}ms")
+        if self.interference_scale is not None:
+            parts.append(f"interference={self.interference_scale:g}x")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class CasePoint:
+    """One scenario on the campaign's test-case axis."""
+
+    case: str
+    samples: int = 10
+    #: Explicit generation seed; derived from the campaign seed when ``None``.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.case not in CASE_BUILDERS:
+            known = ", ".join(sorted(CASE_BUILDERS))
+            raise ValueError(f"unknown campaign scenario {self.case!r} (known: {known})")
+        if self.samples <= 0:
+            raise ValueError("sample count must be positive")
+
+
+# ----------------------------------------------------------------------
+# Run specs and the campaign grid
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-resolved unit of campaign work (picklable, self-contained)."""
+
+    index: int
+    scheme: int
+    case: str
+    samples: int
+    case_seed: int
+    sut_seed: int
+    model: str = "fig2"
+    period_us: Optional[int] = None
+    interference_scale: Optional[float] = None
+    m_test: str = M_TEST_ALL
+
+    @property
+    def label(self) -> str:
+        point = SchemePoint(self.scheme, self.period_us, self.interference_scale)
+        return f"{point.label}/{self.case}"
+
+    def test_case(self) -> RTestCase:
+        """Regenerate this run's stimulus schedule (deterministic)."""
+        return build_case(self.case, self.samples, self.case_seed, model=self.model)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "scheme": self.scheme,
+            "case": self.case,
+            "samples": self.samples,
+            "case_seed": self.case_seed,
+            "sut_seed": self.sut_seed,
+            "model": self.model,
+            "period_us": self.period_us,
+            "interference_scale": self.interference_scale,
+            "m_test": self.m_test,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The cartesian test-campaign grid: scheme points × scenario points."""
+
+    name: str
+    schemes: Tuple[SchemePoint, ...]
+    cases: Tuple[CasePoint, ...]
+    base_seed: int = 0
+    model: str = "fig2"
+    m_test: str = M_TEST_ALL
+
+    def __post_init__(self) -> None:
+        if not self.schemes:
+            raise ValueError("campaign needs at least one scheme point")
+        if not self.cases:
+            raise ValueError("campaign needs at least one scenario point")
+        if self.model not in KNOWN_MODELS:
+            raise ValueError(f"unknown model {self.model!r} (known: {KNOWN_MODELS})")
+        if self.m_test not in M_TEST_POLICIES:
+            raise ValueError(f"unknown m_test policy {self.m_test!r} (known: {M_TEST_POLICIES})")
+
+    @property
+    def size(self) -> int:
+        return len(self.schemes) * len(self.cases)
+
+    def expand(self) -> Tuple[RunSpec, ...]:
+        """Expand the grid into one :class:`RunSpec` per (scheme, case) pair.
+
+        Expansion order — and therefore every run's index — is the cartesian
+        product order, independent of workers or execution order.  Unpinned
+        seeds are derived from the run's coordinates so inserting a new axis
+        point never reshuffles the seeds of existing points.
+        """
+        runs = []
+        for index, (scheme_point, case_point) in enumerate(
+            itertools.product(self.schemes, self.cases)
+        ):
+            sut_seed = scheme_point.sut_seed
+            if sut_seed is None:
+                sut_seed = derive_seed(
+                    self.base_seed,
+                    "sut",
+                    scheme_point.scheme,
+                    scheme_point.period_us,
+                    scheme_point.interference_scale,
+                    case_point.case,
+                )
+            case_seed = case_point.seed
+            if case_seed is None:
+                case_seed = derive_seed(self.base_seed, "case", case_point.case, case_point.samples)
+            runs.append(
+                RunSpec(
+                    index=index,
+                    scheme=scheme_point.scheme,
+                    case=case_point.case,
+                    samples=case_point.samples,
+                    case_seed=case_seed,
+                    sut_seed=sut_seed,
+                    model=self.model,
+                    period_us=scheme_point.period_us,
+                    interference_scale=scheme_point.interference_scale,
+                    m_test=self.m_test,
+                )
+            )
+        return tuple(runs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "base_seed": self.base_seed,
+            "model": self.model,
+            "m_test": self.m_test,
+            "size": self.size,
+            "schemes": [
+                {
+                    "scheme": point.scheme,
+                    "period_us": point.period_us,
+                    "interference_scale": point.interference_scale,
+                    "sut_seed": point.sut_seed,
+                }
+                for point in self.schemes
+            ],
+            "cases": [
+                {"case": point.case, "samples": point.samples, "seed": point.seed}
+                for point in self.cases
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Preset grids (the paper's evaluation, expressed as campaigns)
+# ----------------------------------------------------------------------
+#: The per-scheme system seeds the Table I reproduction has always used.
+TABLE_ONE_SCHEME_SEEDS = {1: 11, 2: 22, 3: 33}
+
+
+def table_one_spec(samples: int = 10, case_seed: int = 7) -> CampaignSpec:
+    """The Table I grid: all three schemes × the bolus-request scenario."""
+    return CampaignSpec(
+        name="table1",
+        schemes=tuple(
+            SchemePoint(scheme, sut_seed=TABLE_ONE_SCHEME_SEEDS[scheme]) for scheme in (1, 2, 3)
+        ),
+        cases=(CasePoint("bolus-request", samples=samples, seed=case_seed),),
+        m_test=M_TEST_ALL,
+    )
+
+
+def period_sweep_spec(
+    periods_ms: Tuple[int, ...] = (10, 15, 20, 25, 35, 50),
+    samples: int = 6,
+    *,
+    sut_seed: int = 17,
+    case_seed: int = 5,
+) -> CampaignSpec:
+    """Ablation A1: scheme 1's polling period versus REQ1 violations."""
+    return CampaignSpec(
+        name="periods",
+        schemes=tuple(
+            SchemePoint(1, period_us=ms(period_ms), sut_seed=sut_seed) for period_ms in periods_ms
+        ),
+        cases=(CasePoint("bolus-request", samples=samples, seed=case_seed),),
+        m_test=M_TEST_NONE,
+    )
+
+
+def interference_sweep_spec(
+    scales: Tuple[float, ...] = (0.0, 0.4, 0.8, 1.0, 1.2),
+    samples: int = 6,
+    *,
+    sut_seed: int = 29,
+    case_seed: int = 5,
+) -> CampaignSpec:
+    """Ablation A2: scheme 3's interference load versus REQ1 violations."""
+    return CampaignSpec(
+        name="interference",
+        schemes=tuple(
+            SchemePoint(3, interference_scale=scale, sut_seed=sut_seed) for scale in scales
+        ),
+        cases=(CasePoint("bolus-request", samples=samples, seed=case_seed),),
+        m_test=M_TEST_NONE,
+    )
+
+
+def full_grid_spec(samples: int = 5, base_seed: int = 0) -> CampaignSpec:
+    """Every scheme × every GPCA scenario (the widest stock campaign)."""
+    return CampaignSpec(
+        name="full",
+        schemes=tuple(SchemePoint(scheme) for scheme in (1, 2, 3)),
+        cases=tuple(CasePoint(case, samples=samples) for case in sorted(CASE_BUILDERS)),
+        base_seed=base_seed,
+        m_test=M_TEST_VIOLATIONS,
+    )
+
+
+def preset_spec(grid: str, *, samples: Optional[int] = None, seed: Optional[int] = None) -> CampaignSpec:
+    """Build one of the stock campaign grids, with optional overrides.
+
+    ``samples``/``seed`` default to each grid's canonical values (the ones
+    the benchmarks have always used), so ``preset_spec("table1")`` is exactly
+    the Table I reproduction.
+    """
+    overrides = {}
+    if samples is not None:
+        overrides["samples"] = samples
+    if grid == "table1":
+        return table_one_spec(**overrides, **({} if seed is None else {"case_seed": seed}))
+    if grid == "periods":
+        return period_sweep_spec(**overrides, **({} if seed is None else {"case_seed": seed}))
+    if grid == "interference":
+        return interference_sweep_spec(
+            **overrides, **({} if seed is None else {"case_seed": seed})
+        )
+    if grid == "full":
+        return full_grid_spec(**overrides, **({} if seed is None else {"base_seed": seed}))
+    raise ValueError(f"unknown campaign grid {grid!r} (known: {sorted(PRESETS)})")
+
+
+#: The stock grid names accepted by ``repro campaign --grid``.
+PRESETS = ("table1", "periods", "interference", "full")

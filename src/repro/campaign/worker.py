@@ -1,0 +1,67 @@
+"""Worker-side execution of campaign runs.
+
+:func:`execute_run` is the unit of work the runner dispatches: a module-level
+function of one picklable :class:`RunSpec`, returning one picklable
+:class:`RunRecord`.  It never touches shared state except the calling
+process's artifact cache, which only memoises immutable generated artifacts —
+so executing the same spec in any process, in any order, yields the same
+record payload bit for bit.
+
+:func:`execute_shard` wraps a whole shard (a list of specs) in one call so a
+campaign crosses the process boundary once per shard rather than once per
+run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from ..core.m_testing import MTestAnalyzer
+from ..core.r_testing import execute_r_test
+from ..core.serialization import m_report_to_dict, r_report_to_dict
+from ..gpca.interface import build_pump_interface
+from ..gpca.pump import build_scheme_system
+from .cache import process_cache
+from .results import RunRecord
+from .spec import M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Execute one campaign run: R-testing, then the spec's M-testing policy."""
+    started = time.perf_counter()
+    artifacts = process_cache().artifacts_for_model(spec.model)
+    test_case = spec.test_case()
+
+    def factory():
+        return build_scheme_system(
+            spec.scheme,
+            seed=spec.sut_seed,
+            use_extended_model=spec.model == "extended",
+            period_us=spec.period_us,
+            interference_scale=spec.interference_scale,
+            artifacts=artifacts,
+        )
+
+    r_report = execute_r_test(factory, test_case)
+
+    m_payload = None
+    if spec.m_test != M_TEST_NONE:
+        analyzer = MTestAnalyzer(build_pump_interface(), test_case.requirement)
+        if spec.m_test == M_TEST_VIOLATIONS:
+            m_report = analyzer.analyze_violations(r_report)
+        else:
+            m_report = analyzer.analyze(r_report.trace, sut_name=r_report.sut_name)
+        m_payload = m_report_to_dict(m_report)
+
+    return RunRecord(
+        spec=spec,
+        r_payload=r_report_to_dict(r_report),
+        m_payload=m_payload,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def execute_shard(specs: Sequence[RunSpec]) -> List[RunRecord]:
+    """Execute one shard of the grid inside a single worker process."""
+    return [execute_run(spec) for spec in specs]

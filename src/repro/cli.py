@@ -1,25 +1,36 @@
 """Command-line interface for the layered timing-testing framework.
 
-Four sub-commands cover the everyday workflows on the GPCA case study::
+Five sub-commands cover the everyday workflows on the GPCA case study::
 
-    python -m repro verify   [--extended]
-    python -m repro codegen  [--extended] [--output FILE]
-    python -m repro rtest    --scheme {1,2,3} [--samples N] [--seed S]
-                             [--m-test] [--json FILE] [--csv FILE]
-    python -m repro table1   [--samples N] [--output FILE]
+    python -m repro verify    [--extended]
+    python -m repro codegen   [--extended] [--output FILE]
+    python -m repro rtest     --scheme {1,2,3} [--samples N] [--seed S]
+                              [--m-test] [--json FILE] [--csv FILE]
+    python -m repro table1    [--samples N] [--output FILE]
+    python -m repro campaign  [--grid NAME] [--workers N] [--samples N]
+                              [--seed S] [--json FILE] [--csv FILE]
+                              [--baseline FILE]
 
 Every command prints its report to stdout; the optional file arguments
 additionally write machine-readable artefacts (JSON/CSV/C source/text).
+``repro campaign`` runs a whole R-/M-testing grid — optionally sharded across
+worker processes — and ``--baseline`` measures serial versus parallel
+wall-clock (verifying the aggregates are byte-identical first).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import platform as platform_module
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .analysis import SchemeResult, TableOne
+from .analysis import SchemeResult, TableOne, render_sweep
+from .campaign import PRESETS, CampaignRunner, preset_spec
 from .codegen import generate_code
 from .core import MTestAnalyzer, RTestRunner, render_m_report, render_r_report
 from .core.serialization import m_report_to_json, r_report_to_csv, r_report_to_json
@@ -118,6 +129,137 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one of the stock R-/M-testing campaign grids, optionally in parallel."""
+    if args.workers < 0:
+        print("repro campaign: error: worker count cannot be negative", file=sys.stderr)
+        return 2
+    try:
+        spec = preset_spec(args.grid, samples=args.samples, seed=args.seed)
+    except ValueError as error:
+        print(f"repro campaign: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.baseline:
+        return _campaign_baseline(spec, args)
+
+    runner = CampaignRunner(spec, workers=args.workers)
+    result = runner.run()
+    if runner.fell_back_to_serial:
+        print(f"warning: process pool unavailable ({runner.fallback_reason}); ran serially")
+    print(result.render_summary())
+    print(
+        f"wall clock: {result.wall_seconds:.2f} s "
+        f"({result.workers} worker{'s' if result.workers != 1 else ''})"
+    )
+    if args.grid == "table1":
+        print()
+        print(result.table_one().render())
+    elif args.grid == "periods":
+        print()
+        print(render_sweep(result.sweep_points("period_ms"), "period (ms)"))
+    elif args.grid == "interference":
+        print()
+        print(render_sweep(result.sweep_points("interference_scale"), "interference scale"))
+
+    _write_campaign_outputs(result, args)
+    # Violating schemes are an expected campaign outcome (they are the paper's
+    # result), so completion — not conformance — determines the exit code.
+    return 0
+
+
+def _write_campaign_outputs(result, args: argparse.Namespace) -> None:
+    """Honour the campaign sub-command's --json/--csv export flags."""
+    if args.json:
+        Path(args.json).write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
+        print(f"campaign result written to {args.json}")
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv(), encoding="utf-8")
+        print(f"campaign summary written to {args.csv}")
+
+
+def _campaign_baseline(spec, args: argparse.Namespace) -> int:
+    """Measure serial vs parallel wall-clock and record the baseline JSON.
+
+    Runs the grid twice — once in-process, once sharded across
+    ``args.workers`` processes — verifies the canonical aggregates are
+    byte-identical, and writes the measured timings (plus enough host
+    metadata to interpret them) to ``args.baseline``.
+    """
+    workers = args.workers if args.workers > 1 else 4
+    if args.workers <= 1:
+        print(f"note: --baseline needs a parallel leg; using {workers} workers for it")
+    # Warm the parent's artifact cache before timing either leg so the serial
+    # leg does not pay the one-time codegen cost alone.  This makes the two
+    # legs symmetric under the fork start method (Linux), where workers
+    # inherit the warmed cache; under spawn each worker re-generates inside
+    # its timed window, which is why the start method is recorded in the
+    # baseline's host metadata.
+    import multiprocessing
+
+    from .campaign import process_cache
+
+    process_cache().artifacts_for_model(spec.model)
+
+    print(f"baseline: running {spec.name!r} grid ({spec.size} runs) serially ...")
+    started = time.perf_counter()
+    serial = CampaignRunner(spec, workers=1).run()
+    serial_s = time.perf_counter() - started
+
+    print(f"baseline: running {spec.name!r} grid with {workers} workers ...")
+    started = time.perf_counter()
+    parallel_runner = CampaignRunner(spec, workers=workers)
+    parallel = parallel_runner.run()
+    parallel_s = time.perf_counter() - started
+
+    if parallel_runner.fell_back_to_serial:
+        # A serial-vs-serial comparison verifies nothing; fail loudly rather
+        # than letting a CI determinism check go green without multiprocessing.
+        print(
+            "error: process pool unavailable "
+            f"({parallel_runner.fallback_reason}); baseline requires a real "
+            "parallel run",
+            file=sys.stderr,
+        )
+        return 1
+
+    identical = serial.to_json() == parallel.to_json()
+    print(f"aggregates byte-identical: {identical}")
+    if not identical:
+        print("error: serial and parallel campaign aggregates differ", file=sys.stderr)
+        return 1
+
+    # The aggregates are identical, so --json/--csv can be honoured from the
+    # serial run rather than silently dropped in baseline mode.
+    _write_campaign_outputs(serial, args)
+
+    payload = {
+        "campaign": spec.to_dict(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "parallel_workers": workers,
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "byte_identical": identical,
+        "fell_back_to_serial": parallel_runner.fell_back_to_serial,
+        "host": {
+            "mp_start_method": multiprocessing.get_start_method(),
+            "cpu_count": os.cpu_count(),
+            "schedulable_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count(),
+            "python": platform_module.python_version(),
+            "platform": platform_module.platform(),
+        },
+    }
+    Path(args.baseline).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"serial {serial_s:.2f} s, parallel {parallel_s:.2f} s "
+        f"(speedup {payload['speedup']}x on {payload['host']['schedulable_cpus']} "
+        f"schedulable CPUs); baseline written to {args.baseline}"
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -152,6 +294,36 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=7)
     table1.add_argument("--output", help="write the rendered table to this file")
     table1.set_defaults(handler=cmd_table1)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run an R-/M-testing campaign grid (optionally in parallel)"
+    )
+    campaign.add_argument(
+        "--grid",
+        choices=PRESETS,
+        default="table1",
+        help="which stock grid to run (default: table1)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard the grid across (default: 1, serial)",
+    )
+    campaign.add_argument(
+        "--samples", type=int, default=None, help="samples per test case (default: grid-specific)"
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=None, help="campaign seed (default: grid-specific)"
+    )
+    campaign.add_argument("--json", help="write the full campaign aggregate as JSON")
+    campaign.add_argument("--csv", help="write the per-run summary as CSV")
+    campaign.add_argument(
+        "--baseline",
+        help="measure serial vs parallel wall-clock (verifying byte-identical "
+        "aggregates) and write the timings to this JSON file",
+    )
+    campaign.set_defaults(handler=cmd_campaign)
 
     return parser
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, List
 
-from .ir import ActionIR, CodeModel, TransitionIR
+from .ir import CodeModel, TransitionIR
 
 
 def _identifier(name: str) -> str:

@@ -17,7 +17,7 @@ them for callers that do not need per-transition instrumentation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..model.declarations import OutputWrite

@@ -10,11 +10,11 @@ from Idle to Infusion?").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..model.statechart import Statechart
-from .ir import CodeModel, TransitionIR
+from .ir import CodeModel
 
 
 @dataclass(frozen=True)

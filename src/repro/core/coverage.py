@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Set
 
 from ..codegen.ir import CodeModel
 from .four_variables import EventKind, Trace

@@ -23,7 +23,7 @@ from typing import List, Optional
 from .four_variables import EventKind, Trace
 from .oracle import ResponseMatcher
 from .requirements import TimingRequirement
-from .sut import SutFactory, SystemUnderTest
+from .sut import SutFactory
 from .test_generation import RTestCase
 
 
@@ -115,6 +115,22 @@ class RTestReport:
         )
 
 
+def execute_r_test(sut_factory: SutFactory, test_case: RTestCase) -> RTestReport:
+    """Execute one R-test case: a pure function of (factory, test case).
+
+    Builds a fresh system from the factory, injects the stimuli, runs to the
+    case's horizon and judges every sample.  Given a deterministic factory
+    (one whose systems are fully seeded) the returned report is a pure
+    function of its arguments, which is what lets the campaign engine dispatch
+    runs to worker processes and still aggregate bit-identical results.
+    """
+    sut = sut_factory()
+    for stimulus in test_case.stimuli:
+        sut.apply_stimulus(stimulus)
+    sut.run(test_case.run_horizon_us)
+    return evaluate_r_trace(sut.name, test_case, sut.trace)
+
+
 class RTestRunner:
     """Executes R-test cases against implemented systems."""
 
@@ -123,11 +139,7 @@ class RTestRunner:
 
     def run(self, test_case: RTestCase) -> RTestReport:
         """Build a fresh system, inject the stimuli, run, and judge every sample."""
-        sut = self._sut_factory()
-        for stimulus in test_case.stimuli:
-            sut.apply_stimulus(stimulus)
-        sut.run(test_case.run_horizon_us)
-        return self.evaluate(sut.name, test_case, sut.trace)
+        return execute_r_test(self._sut_factory, test_case)
 
     def run_many(self, test_cases: List[RTestCase]) -> List[RTestReport]:
         return [self.run(test_case) for test_case in test_cases]
@@ -140,26 +152,31 @@ class RTestRunner:
         Exposed separately so recorded traces (or traces from real hardware)
         can be re-evaluated without re-running the system.
         """
-        requirement = test_case.requirement
-        # R-testing must not look at i/o/transition events at all.
-        restricted = trace.restricted_to([EventKind.M, EventKind.C])
-        matcher = ResponseMatcher(requirement.stimulus, requirement.response)
-        pairs = matcher.match(restricted, timeout_us=requirement.effective_timeout_us)
-        samples: List[RSample] = []
-        for pair in pairs:
-            if pair.response is None:
-                verdict = SampleVerdict.MAX
-            elif requirement.check_latency(pair.latency_us):
-                verdict = SampleVerdict.PASS
-            else:
-                verdict = SampleVerdict.FAIL
-            samples.append(
-                RSample(
-                    index=pair.index,
-                    stimulus_time_us=pair.stimulus.timestamp_us,
-                    response_time_us=pair.response.timestamp_us if pair.response else None,
-                    latency_us=pair.latency_us,
-                    verdict=verdict,
-                )
+        return evaluate_r_trace(sut_name, test_case, trace)
+
+
+def evaluate_r_trace(sut_name: str, test_case: RTestCase, trace: Trace) -> RTestReport:
+    """Judge a recorded trace against the test case's requirement (pure function)."""
+    requirement = test_case.requirement
+    # R-testing must not look at i/o/transition events at all.
+    restricted = trace.restricted_to([EventKind.M, EventKind.C])
+    matcher = ResponseMatcher(requirement.stimulus, requirement.response)
+    pairs = matcher.match(restricted, timeout_us=requirement.effective_timeout_us)
+    samples: List[RSample] = []
+    for pair in pairs:
+        if pair.response is None:
+            verdict = SampleVerdict.MAX
+        elif requirement.check_latency(pair.latency_us):
+            verdict = SampleVerdict.PASS
+        else:
+            verdict = SampleVerdict.FAIL
+        samples.append(
+            RSample(
+                index=pair.index,
+                stimulus_time_us=pair.stimulus.timestamp_us,
+                response_time_us=pair.response.timestamp_us if pair.response else None,
+                latency_us=pair.latency_us,
+                verdict=verdict,
             )
-        return RTestReport(sut_name=sut_name, test_case=test_case, samples=samples, trace=trace)
+        )
+    return RTestReport(sut_name=sut_name, test_case=test_case, samples=samples, trace=trace)

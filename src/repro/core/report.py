@@ -6,11 +6,10 @@ paper-style aggregated Table I is produced by :mod:`repro.analysis.tables`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional
 
-from .delays import DelaySegments
 from .m_testing import MTestReport
-from .r_testing import RTestReport, SampleVerdict
+from .r_testing import RTestReport
 
 
 def _format_ms(value_us: Optional[int]) -> str:

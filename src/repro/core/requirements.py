@@ -14,7 +14,7 @@ c-variable, and a deadline — plus the optional model-level counterpart
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from ..model.verification import BoundedResponseRequirement

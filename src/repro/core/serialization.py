@@ -25,6 +25,8 @@ from .delays import DelaySegments, TransitionDelay
 from .four_variables import Event, EventKind, Trace
 from .m_testing import MTestReport
 from .r_testing import RSample, RTestReport, SampleVerdict
+from .requirements import TimingRequirement
+from .test_generation import RTestCase
 
 FORMAT_VERSION = 1
 
@@ -125,6 +127,25 @@ def r_report_samples_from_dict(payload: Dict[str, Any]) -> List[RSample]:
     ]
 
 
+def r_report_from_dict(payload: Dict[str, Any], test_case: RTestCase) -> RTestReport:
+    """Rebuild an R-test report from :func:`r_report_to_dict` output.
+
+    The test case is not part of the export (its schedule can be regenerated
+    from the generation parameters), so the caller supplies it; the campaign
+    engine rebuilds it deterministically from the run's spec.  The trace is
+    restored when the export carried one (``include_trace=True``).
+    """
+    trace = None
+    if "trace" in payload:
+        trace = trace_from_dict(payload["trace"])
+    return RTestReport(
+        sut_name=payload["sut"],
+        test_case=test_case,
+        samples=r_report_samples_from_dict(payload),
+        trace=trace,
+    )
+
+
 def r_report_to_csv(report: RTestReport) -> str:
     """Render the per-sample verdict table as CSV (one row per sample)."""
     buffer = io.StringIO()
@@ -198,6 +219,21 @@ def segments_from_dict(payload: Dict[str, Any]) -> List[DelaySegments]:
             )
         )
     return segments
+
+
+def m_report_from_dict(payload: Dict[str, Any], requirement: TimingRequirement) -> MTestReport:
+    """Rebuild an M-test report from :func:`m_report_to_dict` output.
+
+    Like :func:`r_report_from_dict`, the requirement object itself is supplied
+    by the caller (the export only carries its identifier).
+    """
+    segments = segments_from_dict(payload)
+    return MTestReport(
+        sut_name=payload["sut"],
+        requirement=requirement,
+        segments=segments,
+        analyzed_sample_indices=[segment.sample_index for segment in segments],
+    )
 
 
 def m_report_to_json(report: MTestReport, *, indent: Optional[int] = None) -> str:

@@ -15,7 +15,7 @@ exercises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..platform.kernel.random import RandomSource

@@ -10,7 +10,7 @@ for R-testing and M-testing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from ..codegen.generator import GeneratedArtifacts, generate_code
 from ..core.instrumentation import ProbeConfiguration
@@ -19,7 +19,6 @@ from ..integration.base import SchemeConfig
 from ..integration.interference import InterferedConfig, InterferedSystem
 from ..integration.multi_threaded import MultiThreadedConfig, MultiThreadedSystem
 from ..integration.single_threaded import SingleThreadedConfig, SingleThreadedSystem
-from ..model.statechart import Statechart
 from .hardware import arm7_execution_model, build_platform_bundle
 from .model import build_extended_statechart, build_fig2_statechart
 
@@ -103,6 +102,46 @@ def make_system(scheme: int, options: Optional[PumpBuildOptions] = None):
         return make_scheme2_system(options)
     if scheme == SCHEME_INTERFERED:
         return make_scheme3_system(options)
+    raise ValueError(f"unknown implementation scheme {scheme!r} (expected 1, 2 or 3)")
+
+
+def build_scheme_system(
+    scheme: int,
+    *,
+    seed: int = 0,
+    use_extended_model: bool = False,
+    period_us: Optional[int] = None,
+    interference_scale: Optional[float] = None,
+    artifacts: Optional[GeneratedArtifacts] = None,
+):
+    """Build one implemented system from plain parameters.
+
+    This is the declarative counterpart of :func:`make_system`: every knob the
+    campaign grid sweeps — the polling period of scheme 1, the interference
+    scaling of scheme 3 — is a keyword argument of a built-in type, so a run
+    can be described by a picklable spec and assembled inside a worker
+    process.  ``artifacts`` lets callers share one generated CODE(M) across
+    many systems (the campaign engine's content-keyed artifact cache).
+    """
+    if period_us is not None and scheme != SCHEME_SINGLE_THREADED:
+        raise ValueError("period_us only applies to scheme 1 (single-threaded)")
+    if interference_scale is not None and scheme != SCHEME_INTERFERED:
+        raise ValueError("interference_scale only applies to scheme 3 (interfered)")
+    options = PumpBuildOptions(
+        seed=seed, use_extended_model=use_extended_model, artifacts=artifacts
+    )
+    if scheme == SCHEME_SINGLE_THREADED:
+        config = SingleThreadedConfig()
+        if period_us is not None:
+            config.period_us = period_us
+        return make_scheme1_system(options, config)
+    if scheme == SCHEME_MULTI_THREADED:
+        return make_scheme2_system(options)
+    if scheme == SCHEME_INTERFERED:
+        config = InterferedConfig()
+        if interference_scale is not None:
+            config = config.scaled_interference(interference_scale)
+        return make_scheme3_system(options, config)
     raise ValueError(f"unknown implementation scheme {scheme!r} (expected 1, 2 or 3)")
 
 

@@ -20,7 +20,7 @@ MAX (time-out) samples of the paper's Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Generator, Optional, Tuple
 
 from ..platform.kernel.random import JitterModel, uniform
 from ..platform.kernel.time import ms

@@ -22,7 +22,7 @@ The builder keeps model definitions readable::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Mapping, Optional
 
 from .declarations import Assign, InputEvent, LocalVariable, OutputVariable
 from .statechart import GuardFn, State, Statechart, Transition

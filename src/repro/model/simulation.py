@@ -15,7 +15,7 @@ and against which the implemented system's *timing* deviates.  Characteristics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .declarations import OutputWrite
 from .statechart import Statechart, Transition

@@ -18,8 +18,8 @@ the structure the paper's code generator (RealTime Workshop) emits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .declarations import Assign, InputEvent, LocalVariable, OutputVariable
 from .temporal import TemporalTrigger

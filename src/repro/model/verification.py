@@ -25,10 +25,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, List, Optional, Sequence, Set, Tuple
 
 from .statechart import Statechart, Transition
-from .temporal import After, At, Before
 
 
 @dataclass(frozen=True)

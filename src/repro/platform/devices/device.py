@@ -122,7 +122,6 @@ class EventInputDevice(Device):
         )
 
     def _sample(self) -> None:
-        now = self.simulator.now
         if self._pending_edges:
             latency = self.conversion_latency.sample(self._rng)
             self.simulator.schedule(

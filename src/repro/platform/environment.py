@@ -15,12 +15,12 @@ For the timing-testing framework it plays two roles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.four_variables import TraceRecorder
 from .devices.actuators import AlarmLed, Buzzer, PumpMotor
-from .devices.device import EventInputDevice, StateInputDevice
+from .devices.device import EventInputDevice
 from .devices.sensors import (
     BolusRequestButton,
     ClearAlarmButton,
@@ -30,7 +30,7 @@ from .devices.sensors import (
 )
 from .kernel.random import RandomSource
 from .kernel.simulator import Simulator
-from .kernel.time import ms, seconds
+from .kernel.time import ms
 
 
 @dataclass

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.codegen.generated import GeneratedCode, GeneratedCodeError
-from repro.codegen.ir import lower_statechart
+from repro.codegen.generated import GeneratedCodeError
 from repro.model.simulation import ModelExecutor
 
 
@@ -95,7 +94,16 @@ class TestModelEquivalence:
         ("bolus_then_alarm", [(10, ["i-BolusReq"]), (500, ["i-EmptyAlarm"]), (100, ["i-ClearAlarm"])]),
         ("ignored_events", [(5, ["i-ClearAlarm"]), (5, ["i-EmptyAlarm"]), (5, ["i-BolusReq"])]),
         ("back_to_back_boluses", [(10, ["i-BolusReq"]), (4500, ["i-BolusReq"]), (4500, [])]),
-        ("alarm_clear_alarm", [(0, ["i-BolusReq"]), (100, ["i-EmptyAlarm"]), (50, ["i-ClearAlarm"]), (10, ["i-BolusReq"]), (4100, [])]),
+        (
+            "alarm_clear_alarm",
+            [
+                (0, ["i-BolusReq"]),
+                (100, ["i-EmptyAlarm"]),
+                (50, ["i-ClearAlarm"]),
+                (10, ["i-BolusReq"]),
+                (4100, []),
+            ],
+        ),
     ]
 
     @pytest.mark.parametrize("name,steps", SCENARIOS, ids=[s[0] for s in SCENARIOS])

@@ -4,7 +4,7 @@ import pytest
 
 from repro.codegen.c_emitter import emit_c_source
 from repro.codegen.generator import CodeGenerator, generate_code
-from repro.codegen.ir import LoweringError, lower_statechart
+from repro.codegen.ir import lower_statechart
 from repro.model.builder import StatechartBuilder
 from repro.model.statechart import StatechartError
 from repro.model.temporal import at, before

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.codegen.execution_model import ExecutionTimeModel
-from repro.codegen.traceability import TraceabilityMap
 from repro.gpca import TRANS_BOLUS_REQUEST, TRANS_START_INFUSION, arm7_execution_model
 from repro.platform.kernel.random import RandomSource, constant, uniform
 from repro.platform.kernel.time import ms

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.four_variables import Event, EventKind
-from repro.core.requirements import EventSpec, MatchMode, RequirementSet, TimingRequirement
+from repro.core.requirements import EventSpec, RequirementSet, TimingRequirement
 from repro.core.test_generation import (
     RTestGenerator,
     TestGenerationConfig,

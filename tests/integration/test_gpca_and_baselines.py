@@ -1,6 +1,5 @@
 """Tests of the GPCA scenario catalogue and the related-work baselines."""
 
-import pytest
 
 from repro.baselines import (
     BlackBoxOnlineTester,
@@ -10,7 +9,6 @@ from repro.baselines import (
 from repro.codegen import generate_code
 from repro.core import RTestRunner
 from repro.gpca import (
-    PumpBuildOptions,
     alarm_clear_test_case,
     bolus_request_test_case,
     build_extended_statechart,

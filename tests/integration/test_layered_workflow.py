@@ -14,7 +14,6 @@ from repro.gpca import (
     scheme_factory,
     scheme_name,
 )
-from repro.platform.kernel.time import ms
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.model.builder import StatechartBuilder
 from repro.model.simulation import ModelExecutionError, ModelExecutor
-from repro.model.temporal import after, at, before
+from repro.model.temporal import after, before
 
 
 class TestFig2Semantics:

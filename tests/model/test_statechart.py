@@ -3,9 +3,8 @@
 import pytest
 
 from repro.model.builder import StatechartBuilder
-from repro.model.declarations import Assign, InputEvent, OutputVariable
-from repro.model.statechart import State, Statechart, StatechartError, Transition
-from repro.model.temporal import at, before
+from repro.model.statechart import State, Statechart, StatechartError
+from repro.model.temporal import at
 
 
 def small_chart() -> Statechart:

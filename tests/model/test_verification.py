@@ -1,9 +1,8 @@
 """Unit tests for bounded-response verification (the Design Verifier substitute)."""
 
-import pytest
 
 from repro.model.builder import StatechartBuilder
-from repro.model.temporal import after, at, before
+from repro.model.temporal import at, before
 from repro.model.verification import (
     BoundedResponseChecker,
     BoundedResponseRequirement,

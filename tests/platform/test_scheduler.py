@@ -7,7 +7,6 @@ from repro.platform.kernel.time import ms
 from repro.platform.rtos.directives import Compute, Delay, Give, Receive, Send, Take
 from repro.platform.rtos.scheduler import RTOSScheduler, SchedulerError
 from repro.platform.rtos.semaphore import make_binary_semaphore
-from repro.platform.rtos.task import TaskState
 
 
 def make_scheduler(context_switch_us: int = 0):
