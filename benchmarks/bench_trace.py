@@ -1,0 +1,300 @@
+"""Benchmark: indexed trace queries vs the seed linear-scan implementation.
+
+PR 2 rebuilt :class:`repro.core.four_variables.Trace` around per-(kind,
+variable) indexes with bisect-based time-window slicing, so ``select`` /
+``first`` / ``select_kinds`` cost O(log n + matches) instead of O(n).  This
+benchmark replays the query shapes the analysis stack actually issues —
+stimulus/response selects (``ResponseMatcher.match``), windowed first-event
+probes (``first_event_after``), transition-probe windows
+(``MTestAnalyzer._transition_delays``) and the R-testing m/c restriction —
+against a ~100k-event synthetic trace, once through the indexed ``Trace`` and
+once through :class:`LinearScanTrace`, a faithful copy of the seed's linear
+scans.  Results (and the per-workload speedups) are recorded to
+``BENCH_trace.json`` at the repository root.
+
+Every workload is also checked for exact result equality, so the benchmark
+doubles as an end-to-end equivalence test of the index rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.four_variables import Event, EventKind, Trace
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+
+EVENT_COUNT = 100_000
+WINDOW_QUERIES = 60
+SEED = 20140324  # the paper's conference date
+
+
+class LinearScanTrace:
+    """Reference implementation: the seed ``Trace`` query semantics, verbatim.
+
+    Kept as the benchmark baseline (and the oracle for the equivalence
+    checks); every query walks the full event list exactly like the
+    pre-index implementation did.
+    """
+
+    def __init__(self, events: List[Event]) -> None:
+        self._events = list(events)
+
+    def select(
+        self,
+        kind: Optional[EventKind] = None,
+        variable: Optional[str] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        after_us: Optional[int] = None,
+        before_us: Optional[int] = None,
+    ) -> List[Event]:
+        selected = []
+        for event in self._events:
+            if not event.matches(kind, variable):
+                continue
+            if after_us is not None and event.timestamp_us < after_us:
+                continue
+            if before_us is not None and event.timestamp_us > before_us:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return selected
+
+    def first(
+        self,
+        kind: Optional[EventKind] = None,
+        variable: Optional[str] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+        after_us: Optional[int] = None,
+        before_us: Optional[int] = None,
+    ) -> Optional[Event]:
+        # The seed's ``first_event_after`` materialised the entire filtered
+        # window via ``select`` just to return its head; reproduce that
+        # faithfully so the baseline measures what PR 2 replaced.
+        for event in self.select(kind, variable, predicate, after_us, before_us):
+            return event
+        return None
+
+    def select_kinds(
+        self,
+        kinds,
+        after_us: Optional[int] = None,
+        before_us: Optional[int] = None,
+    ) -> List[Event]:
+        wanted = set(kinds)
+        selected = []
+        for event in self._events:
+            if event.kind not in wanted:
+                continue
+            if after_us is not None and event.timestamp_us < after_us:
+                continue
+            if before_us is not None and event.timestamp_us > before_us:
+                continue
+            selected.append(event)
+        return selected
+
+    def restricted_to(self, kinds) -> List[Event]:
+        # The seed rebuilt a Trace through its append path, re-checking time
+        # order on every kept event; reproduce that per-event validation.
+        wanted = set(kinds)
+        out: List[Event] = []
+        last = None
+        for event in self._events:
+            if event.kind in wanted:
+                if last is not None and event.timestamp_us < last:
+                    raise ValueError("unsorted trace")
+                last = event.timestamp_us
+                out.append(event)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Synthetic campaign-shaped trace
+# ----------------------------------------------------------------------
+def build_events(count: int = EVENT_COUNT, seed: int = SEED) -> List[Event]:
+    """A deterministic ~``count``-event trace shaped like a campaign run.
+
+    Each "cycle" carries the instrumented m -> i -> transitions -> o -> c
+    path of one stimulus, padded with periodic sensor/actuator noise so the
+    analysis queries are as selective as they are on real traces.
+    """
+    rng = random.Random(seed)
+    events: List[Event] = []
+    now = 0
+
+    def emit(kind: EventKind, variable: str, value) -> None:
+        nonlocal now
+        now += rng.randint(10, 100)
+        events.append(Event(kind, variable, value, now))
+
+    while len(events) < count:
+        emit(EventKind.M, "m-BolusReq", True)
+        emit(EventKind.I, "i-BolusReq", True)
+        for _ in range(rng.randint(1, 3)):
+            transition = f"t_{rng.randrange(5)}"
+            emit(EventKind.TRANSITION_START, transition, None)
+            emit(EventKind.TRANSITION_END, transition, None)
+        emit(EventKind.O, "o-MotorState", 1)
+        emit(EventKind.C, "c-PumpMotor", 1)
+        for _ in range(rng.randint(8, 14)):  # interleaved platform noise
+            index = rng.randrange(5)
+            if rng.random() < 0.5:
+                emit(EventKind.M, f"m-Sensor{index}", rng.random())
+            else:
+                emit(EventKind.C, f"c-Actuator{index}", rng.random())
+    return events[:count]
+
+
+# ----------------------------------------------------------------------
+# Workloads (each returns a comparable result so equality can be asserted)
+# ----------------------------------------------------------------------
+def workload_stimulus_response_select(trace) -> Tuple[int, List[Event]]:
+    """The selects behind ``ResponseMatcher.match`` on every sample variable."""
+    out: List[Event] = []
+    for variable in ("m-BolusReq", "m-Sensor0", "m-Sensor3"):
+        out.extend(trace.select(kind=EventKind.M, variable=variable))
+    for variable in ("c-PumpMotor", "c-Actuator0", "c-Actuator3"):
+        out.extend(trace.select(kind=EventKind.C, variable=variable))
+    return len(out), out
+
+
+def workload_windowed_first(trace, horizon_us: int) -> Tuple[int, List[Optional[Event]]]:
+    """``first_event_after``-style probes across the trace."""
+    out = []
+    step = horizon_us // WINDOW_QUERIES
+    for query in range(WINDOW_QUERIES):
+        after = query * step
+        out.append(
+            trace.first(
+                kind=EventKind.I,
+                variable="i-BolusReq",
+                after_us=after,
+                before_us=after + 4 * step,
+            )
+        )
+    return len(out), out
+
+
+def workload_transition_windows(trace, horizon_us: int) -> Tuple[int, List[Event]]:
+    """``_transition_delays``-style multi-kind window queries."""
+    out: List[Event] = []
+    step = horizon_us // WINDOW_QUERIES
+    for query in range(WINDOW_QUERIES):
+        after = query * step
+        out.extend(
+            trace.select_kinds(
+                (EventKind.TRANSITION_START, EventKind.TRANSITION_END),
+                after_us=after,
+                before_us=after + step,
+            )
+        )
+    return len(out), out
+
+
+def workload_r_evaluate_indexed(trace: Trace) -> Tuple[int, List[Event]]:
+    """The new ``evaluate_r_trace`` path: match straight on the full trace.
+
+    The indexed kind/variable queries only touch the m- and c-buckets, so no
+    restricted copy is needed at all.
+    """
+    out = trace.select(kind=EventKind.M, variable="m-BolusReq")
+    out += trace.select(kind=EventKind.C, variable="c-PumpMotor")
+    return len(out), out
+
+
+def workload_r_evaluate_linear(linear: "LinearScanTrace") -> Tuple[int, List[Event]]:
+    """The seed ``evaluate_r_trace`` path: restrict to m/c, then scan twice."""
+    restricted = LinearScanTrace(linear.restricted_to([EventKind.M, EventKind.C]))
+    out = restricted.select(kind=EventKind.M, variable="m-BolusReq")
+    out += restricted.select(kind=EventKind.C, variable="c-PumpMotor")
+    return len(out), out
+
+
+def _measure(workload: Callable[[], object], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points
+# ----------------------------------------------------------------------
+def test_indexed_queries_match_linear_scan_and_record():
+    events = build_events()
+    horizon = events[-1].timestamp_us
+    indexed = Trace(events)
+    linear = LinearScanTrace(events)
+
+    workloads: Dict[str, Tuple[Callable[[], tuple], Callable[[], tuple]]] = {
+        "stimulus_response_select": (
+            lambda: workload_stimulus_response_select(indexed),
+            lambda: workload_stimulus_response_select(linear),
+        ),
+        "windowed_first": (
+            lambda: workload_windowed_first(indexed, horizon),
+            lambda: workload_windowed_first(linear, horizon),
+        ),
+        "transition_windows": (
+            lambda: workload_transition_windows(indexed, horizon),
+            lambda: workload_transition_windows(linear, horizon),
+        ),
+        "r_test_evaluate": (
+            lambda: workload_r_evaluate_indexed(indexed),
+            lambda: workload_r_evaluate_linear(linear),
+        ),
+    }
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name, (run_indexed, run_linear) in workloads.items():
+        count_indexed, out_indexed = run_indexed()
+        count_linear, out_linear = run_linear()
+        assert count_indexed == count_linear, name
+        assert out_indexed == out_linear, f"{name}: indexed result differs from linear scan"
+
+        # Same best-of-3 policy on both sides so runner noise cannot inflate
+        # the recorded speedups; the one-time lazy index build is measured
+        # separately below and reported alongside.
+        indexed_s = _measure(run_indexed)
+        linear_s = _measure(run_linear)
+        results[name] = {
+            "result_size": count_indexed,
+            "indexed_s": round(indexed_s, 6),
+            "linear_s": round(linear_s, 6),
+            # Floor the divisor so a zero perf_counter delta on a
+            # coarse-timer platform can't emit non-JSON Infinity.
+            "speedup": round(linear_s / max(indexed_s, 1e-9), 2),
+        }
+
+    speedups = [entry["speedup"] for entry in results.values()]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= 1.0 / len(speedups)
+
+    # One-time cost a cold trace pays on its first indexed query.
+    def build_index_cold():
+        Trace.from_sorted(events).select(kind=EventKind.M, variable="m-BolusReq")
+
+    payload = {
+        "benchmark": "trace-query-throughput",
+        "trace_events": EVENT_COUNT,
+        "window_queries": WINDOW_QUERIES,
+        "index_build_s": round(_measure(build_index_cold), 6),
+        "workloads": results,
+        "min_speedup": min(speedups),
+        "geomean_speedup": round(geomean, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # The rewrite must never be slower than the seed scans on any analysis
+    # query shape (the ISSUE's acceptance bar of >= 5x is asserted offline
+    # from BENCH_trace.json, not here, to keep CI robust on noisy runners).
+    assert min(speedups) >= 1.0

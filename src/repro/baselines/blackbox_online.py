@@ -92,7 +92,9 @@ class BlackBoxOnlineTester:
         tester that cannot look into the future.
         """
         requirement: TimingRequirement = test_case.requirement
-        observable = trace.restricted_to([EventKind.M, EventKind.C])
+        # The indexed multi-kind query yields the observable m/c stream in
+        # trace order without building an intermediate restricted trace.
+        observable = trace.select_kinds((EventKind.M, EventKind.C))
         report = BlackBoxReport(sut_name=sut_name, test_case=test_case)
         outstanding: List[tuple] = []  # (stimulus_index, stimulus_time)
         next_index = 0

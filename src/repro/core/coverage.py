@@ -35,15 +35,21 @@ class TransitionCoverage:
 
     # ------------------------------------------------------------------
     def add_trace(self, trace: Trace) -> None:
-        """Count transitions observed through TRANSITION_START probes."""
+        """Count transitions observed through TRANSITION_START probes.
+
+        The probe lookup rides the trace's per-kind index, and membership is
+        checked against a set so long traces don't pay a list scan per probe.
+        """
+        known = set(self.all_transitions)
         for event in trace.select(kind=EventKind.TRANSITION_START):
-            if event.variable in self.all_transitions:
+            if event.variable in known:
                 self.covered.add(event.variable)
 
     def add_fired(self, transition_names: Iterable[str]) -> None:
         """Count transitions reported fired by the generated-code runtime."""
+        known = set(self.all_transitions)
         for name in transition_names:
-            if name in self.all_transitions:
+            if name in known:
                 self.covered.add(name)
 
     # ------------------------------------------------------------------

@@ -16,11 +16,44 @@ Every observation of a value change at one of these boundaries is an
 :class:`Event` with an exact timestamp; a test run produces a :class:`Trace`.
 R-testing consumes only M and C events; M-testing additionally consumes I, O
 and transition start/end events.
+
+Trace index design
+------------------
+
+A trace is append-only and time-ordered, and every analysis pass (response
+matching, delay segmentation, coverage, export) asks the same three question
+shapes many times per sample:
+
+* "all events of kind K / variable V (in a time window)" — :meth:`Trace.select`;
+* "the first such event at or after t" — :meth:`Trace.first`;
+* "all events of any of these kinds, in trace order" — :meth:`Trace.select_kinds`.
+
+Answering those with a linear scan makes analysis O(samples × trace length).
+Instead, :class:`Trace` maintains three secondary indexes — by ``(kind,
+variable)``, by ``kind`` and by ``variable`` — each a :class:`_IndexBucket`
+holding the trace *positions* of its events plus a parallel, non-decreasing
+timestamp list.  A query picks the most specific bucket for its filters,
+bisects the timestamp list to the ``[after_us, before_us]`` window, and
+materialises only the matching events, so queries cost O(log n + matches)
+instead of O(n).  Positions within a bucket are ascending, which preserves
+exact trace order (including ties), so indexed queries return byte-identical
+results to a linear scan.  Multi-kind queries merge the per-kind buckets by
+position.
+
+The indexes are built *lazily*: appending only checks time order and extends
+the event/timestamp arrays (so recording a trace during simulation pays
+nothing for the indexes), and the first query indexes the unindexed tail in
+one pass.  Batch construction paths — :meth:`Trace.extend` for validated
+batches and the trusted :meth:`Trace.from_sorted` used by
+:meth:`Trace.restricted_to` — therefore never re-validate or re-index
+event-by-event.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -240,26 +273,136 @@ class Event:
         return True
 
 
+class _IndexBucket:
+    """Trace positions of one index slice plus their (sorted) timestamps.
+
+    Positions are appended in trace order, so both lists are ascending; time
+    windows therefore map to contiguous slices found by bisection.
+    """
+
+    __slots__ = ("positions", "times")
+
+    def __init__(self) -> None:
+        self.positions: List[int] = []
+        self.times: List[int] = []
+
+    def add(self, position: int, time_us: int) -> None:
+        self.positions.append(position)
+        self.times.append(time_us)
+
+    def window(self, after_us: Optional[int], before_us: Optional[int]) -> Tuple[int, int]:
+        """Slice bounds of the ``[after_us, before_us]`` window (both inclusive)."""
+        lo = 0 if after_us is None else bisect_left(self.times, after_us)
+        hi = len(self.times) if before_us is None else bisect_right(self.times, before_us)
+        return lo, hi
+
+
+_EMPTY_BUCKET = _IndexBucket()
+
+
 class Trace:
-    """An append-only, time-ordered sequence of :class:`Event` objects."""
+    """An append-only, time-ordered sequence of :class:`Event` objects.
+
+    Events are indexed on append by ``(kind, variable)``, by ``kind`` and by
+    ``variable`` (see the module docstring), so :meth:`select`, :meth:`first`
+    and :meth:`select_kinds` run in O(log n + matches) rather than scanning
+    the whole trace.
+    """
+
+    __slots__ = (
+        "_events",
+        "_timestamps",
+        "_by_kind",
+        "_by_variable",
+        "_by_kind_variable",
+        "_indexed_upto",
+        "_events_view",
+    )
 
     def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
         self._events: List[Event] = []
+        self._timestamps: List[int] = []
+        self._by_kind: Dict[EventKind, _IndexBucket] = {}
+        self._by_variable: Dict[str, _IndexBucket] = {}
+        self._by_kind_variable: Dict[Tuple[EventKind, str], _IndexBucket] = {}
+        self._indexed_upto = 0
+        self._events_view: Optional[Tuple[Event, ...]] = None
         if events is not None:
-            for event in events:
-                self.append(event)
+            self.extend(events)
 
+    @classmethod
+    def from_sorted(cls, events: Iterable[Event]) -> "Trace":
+        """Build a trace from events already known to be in timestamp order.
+
+        This is the cheap builder path for trusted sources (another trace, a
+        recorder draining in clock order): the event and timestamp arrays are
+        bulk-built without re-validating order event-by-event, and the indexes
+        are left for the first query to build lazily.
+        """
+        trace = cls()
+        trace._events = list(events)
+        trace._timestamps = [event.timestamp_us for event in trace._events]
+        return trace
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
     def append(self, event: Event) -> None:
-        if self._events and event.timestamp_us < self._events[-1].timestamp_us:
+        timestamps = self._timestamps
+        if timestamps and event.timestamp_us < timestamps[-1]:
             raise ValueError(
                 "events must be appended in non-decreasing timestamp order: "
-                f"{event.timestamp_us} < {self._events[-1].timestamp_us}"
+                f"{event.timestamp_us} < {timestamps[-1]}"
             )
         self._events.append(event)
+        timestamps.append(event.timestamp_us)
+        self._events_view = None
 
     def extend(self, events: Iterable[Event]) -> None:
+        """Append a batch of events, validating order in one cheap pass."""
+        own_events = self._events
+        timestamps = self._timestamps
+        last = timestamps[-1] if timestamps else None
         for event in events:
-            self.append(event)
+            if last is not None and event.timestamp_us < last:
+                raise ValueError(
+                    "events must be appended in non-decreasing timestamp order: "
+                    f"{event.timestamp_us} < {last}"
+                )
+            last = event.timestamp_us
+            own_events.append(event)
+            timestamps.append(last)
+        self._events_view = None
+
+    def _ensure_index(self) -> None:
+        """Index the not-yet-indexed tail of the trace (amortised O(1) per event)."""
+        events = self._events
+        upto = self._indexed_upto
+        count = len(events)
+        if upto == count:
+            return
+        by_kind = self._by_kind
+        by_variable = self._by_variable
+        by_kind_variable = self._by_kind_variable
+        for position in range(upto, count):
+            event = events[position]
+            time_us = event.timestamp_us
+            kind = event.kind
+            variable = event.variable
+            bucket = by_kind.get(kind)
+            if bucket is None:
+                bucket = by_kind[kind] = _IndexBucket()
+            bucket.add(position, time_us)
+            bucket = by_variable.get(variable)
+            if bucket is None:
+                bucket = by_variable[variable] = _IndexBucket()
+            bucket.add(position, time_us)
+            key = (kind, variable)
+            bucket = by_kind_variable.get(key)
+            if bucket is None:
+                bucket = by_kind_variable[key] = _IndexBucket()
+            bucket.add(position, time_us)
+        self._indexed_upto = count
 
     def __len__(self) -> int:
         return len(self._events)
@@ -272,17 +415,35 @@ class Trace:
 
     @property
     def events(self) -> Sequence[Event]:
-        return tuple(self._events)
+        """A stable immutable view of the events (cached until the next append)."""
+        if self._events_view is None:
+            self._events_view = tuple(self._events)
+        return self._events_view
 
     @property
     def duration_us(self) -> int:
-        if not self._events:
+        if not self._timestamps:
             return 0
-        return self._events[-1].timestamp_us - self._events[0].timestamp_us
+        return self._timestamps[-1] - self._timestamps[0]
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _bucket_for(self, kind: Optional[EventKind], variable: Optional[str]) -> Optional[_IndexBucket]:
+        """Most specific index bucket for the filters; ``None`` means whole trace.
+
+        Pure time-window queries (no kind/variable filter) bisect the
+        timestamp array directly and must not trigger the index build.
+        """
+        if kind is None and variable is None:
+            return None
+        self._ensure_index()
+        if kind is not None:
+            if variable is not None:
+                return self._by_kind_variable.get((kind, variable), _EMPTY_BUCKET)
+            return self._by_kind.get(kind, _EMPTY_BUCKET)
+        return self._by_variable.get(variable, _EMPTY_BUCKET)
+
     def select(
         self,
         kind: Optional[EventKind] = None,
@@ -292,17 +453,17 @@ class Trace:
         before_us: Optional[int] = None,
     ) -> List[Event]:
         """Return events matching all provided filters, in time order."""
-        selected = []
-        for event in self._events:
-            if not event.matches(kind, variable):
-                continue
-            if after_us is not None and event.timestamp_us < after_us:
-                continue
-            if before_us is not None and event.timestamp_us > before_us:
-                continue
-            if predicate is not None and not predicate(event):
-                continue
-            selected.append(event)
+        bucket = self._bucket_for(kind, variable)
+        if bucket is None:
+            lo = 0 if after_us is None else bisect_left(self._timestamps, after_us)
+            hi = len(self._timestamps) if before_us is None else bisect_right(self._timestamps, before_us)
+            selected = self._events[lo:hi]
+        else:
+            lo, hi = bucket.window(after_us, before_us)
+            events = self._events
+            selected = [events[position] for position in bucket.positions[lo:hi]]
+        if predicate is not None:
+            return [event for event in selected if predicate(event)]
         return selected
 
     def first(
@@ -311,22 +472,63 @@ class Trace:
         variable: Optional[str] = None,
         predicate: Optional[Callable[[Event], bool]] = None,
         after_us: Optional[int] = None,
+        before_us: Optional[int] = None,
     ) -> Optional[Event]:
-        """First event matching the filters at or after ``after_us``."""
-        for event in self._events:
-            if after_us is not None and event.timestamp_us < after_us:
-                continue
-            if not event.matches(kind, variable):
-                continue
-            if predicate is not None and not predicate(event):
-                continue
-            return event
+        """First event matching the filters at or after ``after_us``.
+
+        ``before_us`` bounds the search window (inclusive), so callers probing
+        a window get the early-exit path instead of materialising every match.
+        """
+        bucket = self._bucket_for(kind, variable)
+        events = self._events
+        # Iterate by index (no window slice copy) so the early exit really is
+        # O(log n + 1) when the first candidate matches.
+        if bucket is None:
+            lo = 0 if after_us is None else bisect_left(self._timestamps, after_us)
+            hi = len(self._timestamps) if before_us is None else bisect_right(self._timestamps, before_us)
+            for index in range(lo, hi):
+                event = events[index]
+                if predicate is None or predicate(event):
+                    return event
+            return None
+        lo, hi = bucket.window(after_us, before_us)
+        positions = bucket.positions
+        for index in range(lo, hi):
+            event = events[positions[index]]
+            if predicate is None or predicate(event):
+                return event
         return None
+
+    def select_kinds(
+        self,
+        kinds: Iterable[EventKind],
+        after_us: Optional[int] = None,
+        before_us: Optional[int] = None,
+    ) -> List[Event]:
+        """Events of any of ``kinds`` in a time window, in trace order.
+
+        Merges the per-kind index buckets by trace position, so the cost is
+        O(log n + matches) regardless of how many other kinds the trace holds.
+        """
+        self._ensure_index()
+        slices: List[List[int]] = []
+        for kind in dict.fromkeys(kinds):
+            bucket = self._by_kind.get(kind)
+            if bucket is None:
+                continue
+            lo, hi = bucket.window(after_us, before_us)
+            if lo < hi:
+                slices.append(bucket.positions[lo:hi])
+        events = self._events
+        if not slices:
+            return []
+        if len(slices) == 1:
+            return [events[position] for position in slices[0]]
+        return [events[position] for position in heapq.merge(*slices)]
 
     def restricted_to(self, kinds: Iterable[EventKind]) -> "Trace":
         """A copy containing only the given event kinds (e.g. M and C for R-testing)."""
-        wanted = set(kinds)
-        return Trace(event for event in self._events if event.kind in wanted)
+        return Trace.from_sorted(self.select_kinds(kinds))
 
     def value_changes(self, kind: EventKind, variable: str) -> List[Tuple[int, Any]]:
         """``(timestamp, value)`` pairs where ``variable`` changed value."""

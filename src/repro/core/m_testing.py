@@ -205,7 +205,12 @@ class MTestAnalyzer:
         window_end = end_us
         delays: List[TransitionDelay] = []
         open_starts: Dict[str, int] = {}
-        for event in trace.select(after_us=start_us, before_us=window_end):
+        probes = trace.select_kinds(
+            (EventKind.TRANSITION_START, EventKind.TRANSITION_END),
+            after_us=start_us,
+            before_us=window_end,
+        )
+        for event in probes:
             if event.kind is EventKind.TRANSITION_START:
                 open_starts[event.variable] = event.timestamp_us
             elif event.kind is EventKind.TRANSITION_END:

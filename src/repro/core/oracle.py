@@ -103,10 +103,14 @@ class ResponseMatcher:
         """First event of ``kind``/``variable`` at or after ``after_us``.
 
         ``before_us`` bounds the search window; ``spec`` optionally filters by
-        value (e.g. only ``o-MotorState`` writes of value 1).
+        value (e.g. only ``o-MotorState`` writes of value 1).  Uses the
+        trace's indexed early-exit path rather than materialising every
+        matching event in the window.
         """
-        for event in trace.select(kind=kind, variable=variable, after_us=after_us, before_us=before_us):
-            if spec is not None and not spec.matches(event):
-                continue
-            return event
-        return None
+        return trace.first(
+            kind=kind,
+            variable=variable,
+            predicate=spec.matches if spec is not None else None,
+            after_us=after_us,
+            before_us=before_us,
+        )

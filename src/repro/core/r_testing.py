@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from .four_variables import EventKind, Trace
+from .four_variables import Trace
 from .oracle import ResponseMatcher
 from .requirements import TimingRequirement
 from .sut import SutFactory
@@ -158,10 +158,12 @@ class RTestRunner:
 def evaluate_r_trace(sut_name: str, test_case: RTestCase, trace: Trace) -> RTestReport:
     """Judge a recorded trace against the test case's requirement (pure function)."""
     requirement = test_case.requirement
-    # R-testing must not look at i/o/transition events at all.
-    restricted = trace.restricted_to([EventKind.M, EventKind.C])
+    # R-testing must not look at i/o/transition events at all.  The matcher's
+    # indexed kind/variable queries only ever touch the m- and c-buckets, so
+    # matching the full trace is exactly equivalent to matching a copy
+    # restricted to [M, C] — without the O(n) restriction pass per evaluation.
     matcher = ResponseMatcher(requirement.stimulus, requirement.response)
-    pairs = matcher.match(restricted, timeout_us=requirement.effective_timeout_us)
+    pairs = matcher.match(trace, timeout_us=requirement.effective_timeout_us)
     samples: List[RSample] = []
     for pair in pairs:
         if pair.response is None:

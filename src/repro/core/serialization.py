@@ -56,7 +56,9 @@ def trace_from_dict(payload: Dict[str, Any]) -> Trace:
     version = payload.get("format_version", FORMAT_VERSION)
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version {version}")
-    events = [
+    # Stream straight into the trace's batch-validating builder path rather
+    # than materialising an intermediate event list first.
+    events = (
         Event(
             kind=EventKind(item["kind"]),
             variable=item["variable"],
@@ -65,7 +67,7 @@ def trace_from_dict(payload: Dict[str, Any]) -> Trace:
             meta=item.get("meta", {}),
         )
         for item in payload.get("events", [])
-    ]
+    )
     return Trace(events)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from .time import SimClock, format_us
 
@@ -38,19 +38,31 @@ class _QueueEntry:
 class EventHandle:
     """Handle to a scheduled event; supports cancellation and inspection."""
 
-    __slots__ = ("time_us", "priority", "callback", "label", "_cancelled", "_fired")
+    __slots__ = ("time_us", "priority", "callback", "label", "_cancelled", "_fired", "_owner")
 
-    def __init__(self, time_us: int, priority: int, callback: Callable[[], None], label: str) -> None:
+    def __init__(
+        self,
+        time_us: int,
+        priority: int,
+        callback: Callable[[], None],
+        label: str,
+        owner: "Optional[Simulator]" = None,
+    ) -> None:
         self.time_us = time_us
         self.priority = priority
         self.callback = callback
         self.label = label
         self._cancelled = False
         self._fired = False
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is harmless."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -78,6 +90,10 @@ class Simulator:
     advances past the time of the last processed event.
     """
 
+    #: Lazy-compaction trigger: rebuild the heap once at least this many
+    #: cancelled entries linger *and* they outnumber the live ones.
+    _COMPACTION_MIN_STALE = 64
+
     def __init__(self, start_us: int = 0) -> None:
         self._clock = SimClock(start_us)
         self._queue: List[_QueueEntry] = []
@@ -85,6 +101,7 @@ class Simulator:
         self._processed = 0
         self._running = False
         self._stop_requested = False
+        self._stale = 0  # cancelled entries still sitting in the heap
 
     # ------------------------------------------------------------------
     # Introspection
@@ -101,8 +118,26 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for entry in self._queue if entry.handle.pending)
+        """Number of not-yet-fired, not-cancelled events in the queue.
+
+        Maintained as a live counter (queue length minus lingering cancelled
+        entries), so introspection is O(1) instead of scanning the heap.
+        """
+        return len(self._queue) - self._stale
+
+    def _note_cancelled(self) -> None:
+        """A pending handle was cancelled; reclaim the heap when stale entries dominate.
+
+        Preemption-heavy runs cancel one completion event per preemption; left
+        unreclaimed those entries bloat the heap and slow every push/pop.  The
+        rebuild filters cancelled entries and re-heapifies, which preserves the
+        ``(time, priority, sequence)`` dispatch order exactly.
+        """
+        self._stale += 1
+        if self._stale >= self._COMPACTION_MIN_STALE and self._stale * 2 > len(self._queue):
+            self._queue = [entry for entry in self._queue if not entry.handle.cancelled]
+            heapq.heapify(self._queue)
+            self._stale = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -125,7 +160,7 @@ class Simulator:
                 f"cannot schedule event {label!r} at {format_us(time_us)} "
                 f"in the past (now={format_us(self._clock.now)})"
             )
-        handle = EventHandle(time_us, priority, callback, label)
+        handle = EventHandle(time_us, priority, callback, label, owner=self)
         entry = _QueueEntry(time_us, priority, self._sequence, handle)
         self._sequence += 1
         heapq.heappush(self._queue, entry)
@@ -161,6 +196,7 @@ class Simulator:
             entry = heapq.heappop(self._queue)
             handle = entry.handle
             if handle.cancelled:
+                self._stale -= 1
                 continue
             self._clock.advance_to(entry.time_us)
             handle._fired = True
@@ -188,6 +224,7 @@ class Simulator:
                 entry = self._queue[0]
                 if entry.handle.cancelled:
                     heapq.heappop(self._queue)
+                    self._stale -= 1
                     continue
                 if entry.time_us > time_us:
                     break

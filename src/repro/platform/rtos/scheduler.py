@@ -47,6 +47,7 @@ class RTOSScheduler:
         self.simulator = simulator
         self.context_switch_us = context_switch_us
         self.name = name
+        self._started_at_us = simulator.now
         self.tasks: List[Task] = []
         self._ready: List[Job] = []
         self._running: Optional[Job] = None
@@ -107,6 +108,7 @@ class RTOSScheduler:
         if self._started:
             return
         self._started = True
+        self._started_at_us = self.simulator.now
         for task in self.tasks:
             if task.is_periodic:
                 self._schedule_release(task, self.simulator.now + task.offset_us)
@@ -139,11 +141,19 @@ class RTOSScheduler:
     # Metrics
     # ------------------------------------------------------------------
     def cpu_utilization(self) -> float:
-        """Fraction of elapsed simulated time spent in task compute segments."""
-        if self.simulator.now == 0:
+        """Fraction of elapsed simulated time spent in task compute segments.
+
+        Elapsed time is measured since :meth:`start` (falling back to
+        construction time for schedulers that are never started), not from
+        absolute time zero, so a simulator constructed with ``start_us > 0``
+        — or warmed up before the scheduler starts — does not under-report
+        utilization.
+        """
+        elapsed = self.simulator.now - self._started_at_us
+        if elapsed <= 0:
             return 0.0
         busy = sum(task.stats.cpu_time_us for task in self.tasks)
-        return busy / self.simulator.now
+        return busy / elapsed
 
     # ------------------------------------------------------------------
     # Releases

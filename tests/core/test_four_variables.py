@@ -140,6 +140,76 @@ class TestEventAndTrace:
         assert trace.duration_us == 100
         assert Trace().duration_us == 0
 
+    def test_first_bounded_by_before_us(self):
+        trace = Trace(
+            [
+                Event(EventKind.C, "c-X", 1, 30),
+                Event(EventKind.C, "c-X", 2, 60),
+            ]
+        )
+        assert trace.first(kind=EventKind.C, after_us=40, before_us=100).value == 2
+        assert trace.first(kind=EventKind.C, after_us=40, before_us=50) is None
+
+    def test_select_kinds_preserves_trace_order(self):
+        trace = Trace(
+            [
+                Event(EventKind.M, "m-X", True, 10),
+                Event(EventKind.I, "i-X", True, 10),
+                Event(EventKind.C, "c-X", 1, 10),
+                Event(EventKind.M, "m-X", False, 20),
+            ]
+        )
+        selected = trace.select_kinds((EventKind.C, EventKind.M))
+        # Trace order (not argument order) decides ties at the same timestamp.
+        assert [(event.kind, event.timestamp_us) for event in selected] == [
+            (EventKind.M, 10),
+            (EventKind.C, 10),
+            (EventKind.M, 20),
+        ]
+        assert trace.select_kinds((EventKind.M,), after_us=15) == [trace[3]]
+
+    def test_events_view_is_stable_and_immutable(self):
+        trace = Trace([Event(EventKind.M, "a", 1, 10)])
+        view = trace.events
+        assert isinstance(view, tuple)
+        assert trace.events is view  # cached until the next append
+        trace.append(Event(EventKind.M, "a", 2, 20))
+        refreshed = trace.events
+        assert refreshed is not view
+        assert len(refreshed) == 2
+
+    def test_extend_validates_batch_order(self):
+        trace = Trace([Event(EventKind.M, "a", 1, 100)])
+        with pytest.raises(ValueError):
+            trace.extend(
+                [
+                    Event(EventKind.M, "a", 1, 150),
+                    Event(EventKind.M, "a", 1, 120),
+                ]
+            )
+
+    def test_pure_window_queries_do_not_build_indexes(self):
+        trace = Trace(
+            [
+                Event(EventKind.M, "m-X", True, 10),
+                Event(EventKind.C, "c-X", 1, 30),
+            ]
+        )
+        assert [event.timestamp_us for event in trace.select(after_us=20)] == [30]
+        assert trace.first(before_us=20).timestamp_us == 10
+        assert trace._indexed_upto == 0  # timestamp bisection alone served these
+        trace.select(kind=EventKind.M)
+        assert trace._indexed_upto == 2
+
+    def test_from_sorted_matches_validated_construction(self):
+        events = [
+            Event(EventKind.M, "m-X", True, 10),
+            Event(EventKind.C, "c-X", 1, 30),
+        ]
+        fast = Trace.from_sorted(events)
+        assert list(fast) == events
+        assert fast.select(kind=EventKind.C) == [events[1]]
+
 
 class TestRecorder:
     def test_records_with_clock_timestamps(self):

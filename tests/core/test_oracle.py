@@ -87,6 +87,28 @@ class TestMatching:
         assert pairs[0].response is not None
         assert pairs[1].response is None
 
+    def test_late_response_stays_available_to_next_stimulus(self, matcher):
+        """A response beyond ``timeout_us`` is not consumed by the stimulus it
+        missed: that sample is reported unanswered, and the response remains
+        available to pair with the next stimulus it is in time for."""
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.M, "m-Req", True, 600),
+            (EventKind.C, "c-Motor", 1, 650),
+        ])
+        pairs = matcher.match(trace, timeout_us=ms(500))
+        assert pairs[0].response is None          # 640 ms after stimulus 0: too late
+        assert pairs[1].response is not None      # ... but only 50 ms after stimulus 1
+        assert pairs[1].latency_us == ms(50)
+
+    def test_response_exactly_at_timeout_is_accepted(self, matcher):
+        trace = make_trace([
+            (EventKind.M, "m-Req", True, 10),
+            (EventKind.C, "c-Motor", 1, 510),
+        ])
+        pairs = matcher.match(trace, timeout_us=ms(500))
+        assert pairs[0].latency_us == ms(500)
+
     def test_only_matching_kind_considered(self, matcher):
         trace = make_trace([
             (EventKind.M, "m-Req", True, 10),

@@ -294,6 +294,40 @@ class TestMisc:
         sim.run_until(ms(100))
         assert rtos.cpu_utilization() == pytest.approx(0.5, abs=0.05)
 
+    def test_cpu_utilization_with_nonzero_simulator_start(self):
+        """Utilization divides by time elapsed since the scheduler started,
+        so a simulator constructed at start_us > 0 must not under-report."""
+        sim = Simulator(start_us=ms(1000))
+        rtos = RTOSScheduler(sim)
+
+        def job():
+            yield Compute(ms(5))
+
+        rtos.create_task("busy", priority=1, job_factory=job, period_us=ms(10))
+        rtos.start()
+        sim.run_until(ms(1100))
+        assert rtos.cpu_utilization() == pytest.approx(0.5, abs=0.05)
+
+    def test_cpu_utilization_ignores_pre_start_warmup(self):
+        """Simulated time passing between construction and start() must not
+        deflate utilization — elapsed time is anchored at start()."""
+        sim = Simulator()
+        rtos = RTOSScheduler(sim)
+
+        def job():
+            yield Compute(ms(5))
+
+        rtos.create_task("busy", priority=1, job_factory=job, period_us=ms(10))
+        sim.run_until(ms(1000))  # warm-up with the scheduler not yet started
+        rtos.start()
+        sim.run_until(ms(2000))
+        assert rtos.cpu_utilization() == pytest.approx(0.5, abs=0.05)
+
+    def test_cpu_utilization_zero_elapsed(self):
+        sim = Simulator(start_us=ms(1000))
+        rtos = RTOSScheduler(sim)
+        assert rtos.cpu_utilization() == 0.0
+
     def test_get_task_by_name(self):
         _, rtos = make_scheduler()
         task = rtos.create_task("named", priority=2, job_factory=lambda: iter(()))

@@ -75,6 +75,45 @@ class TestCancellation:
         sim.run()
         assert not handle.pending and handle.fired
 
+    def test_pending_events_counter_tracks_cancellations(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(10 * i, lambda: None) for i in range(1, 6)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[2].cancel()
+        assert sim.pending_events == 3
+        handles[2].cancel()  # double-cancel must not double-count
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 3
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulator()
+        handle = sim.schedule_at(10, lambda: None)
+        sim.schedule_at(20, lambda: None)
+        sim.run_until(15)
+        handle.cancel()  # already fired: a no-op
+        assert not handle.cancelled
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_heap_compaction_reclaims_cancelled_entries(self):
+        sim = Simulator()
+        cancelled = [sim.schedule_at(1_000_000 + i, lambda: None) for i in range(200)]
+        keeper_fired = []
+        sim.schedule_at(500, lambda: keeper_fired.append(sim.now))
+        for handle in cancelled:
+            handle.cancel()
+        # Cancelled entries dominated the heap, so compaction dropped them
+        # without waiting for their pop.
+        assert len(sim._queue) < 100
+        assert sim.pending_events == 1
+        sim.run()
+        assert keeper_fired == [500]
+        assert sim.pending_events == 0
+
 
 class TestRunUntil:
     def test_run_until_stops_at_boundary(self):

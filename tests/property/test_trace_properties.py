@@ -39,6 +39,95 @@ def test_restricted_to_is_subset(times):
 
 
 # ----------------------------------------------------------------------
+# Indexed queries vs a reference linear scan
+# ----------------------------------------------------------------------
+def _linear_select(events, kind=None, variable=None, predicate=None, after_us=None, before_us=None):
+    """The seed's O(n) select semantics, used as the oracle for the indexes."""
+    selected = []
+    for event in events:
+        if not event.matches(kind, variable):
+            continue
+        if after_us is not None and event.timestamp_us < after_us:
+            continue
+        if before_us is not None and event.timestamp_us > before_us:
+            continue
+        if predicate is not None and not predicate(event):
+            continue
+        selected.append(event)
+    return selected
+
+
+_KINDS = [EventKind.M, EventKind.I, EventKind.O, EventKind.C, EventKind.TRANSITION_START]
+_VARIABLES = ["m-X", "m-Y", "c-X", "t_0"]
+
+
+@st.composite
+def random_traces(draw):
+    count = draw(st.integers(min_value=0, max_value=60))
+    times = sorted(draw(st.lists(st.integers(0, 5_000), min_size=count, max_size=count)))
+    events = [
+        Event(
+            draw(st.sampled_from(_KINDS)),
+            draw(st.sampled_from(_VARIABLES)),
+            draw(st.integers(0, 3)),
+            time,
+        )
+        for time in times
+    ]
+    return events
+
+
+@given(
+    random_traces(),
+    st.sampled_from(_KINDS + [None]),
+    st.sampled_from(_VARIABLES + [None]),
+    st.one_of(st.none(), st.integers(0, 5_000)),
+    st.one_of(st.none(), st.integers(0, 5_000)),
+)
+@settings(max_examples=120)
+def test_indexed_queries_equal_linear_scan(events, kind, variable, after_us, before_us):
+    """The indexed trace answers every query shape byte-identically to the
+    seed linear scan, including timestamp ties and empty windows."""
+    trace = Trace(events)
+    predicate = lambda event: bool(event.value)  # noqa: E731
+
+    for pred in (None, predicate):
+        expected = _linear_select(events, kind, variable, pred, after_us, before_us)
+        assert trace.select(kind, variable, pred, after_us, before_us) == expected
+        first = trace.first(kind, variable, pred, after_us, before_us=before_us)
+        assert first == (expected[0] if expected else None)
+
+    wanted = (EventKind.M, EventKind.C)
+    expected_kinds = [
+        event
+        for event in events
+        if event.kind in wanted
+        and (after_us is None or event.timestamp_us >= after_us)
+        and (before_us is None or event.timestamp_us <= before_us)
+    ]
+    assert trace.select_kinds(wanted, after_us, before_us) == expected_kinds
+    assert list(trace.restricted_to(wanted)) == [event for event in events if event.kind in wanted]
+
+
+@given(random_traces(), random_traces())
+@settings(max_examples=60)
+def test_lazy_index_handles_appends_between_queries(first_batch, second_batch):
+    """Appending after a query indexes only the new tail — results still match
+    a linear scan over the combined event sequence."""
+    trace = Trace(first_batch)
+    assert trace.select(kind=EventKind.M) == _linear_select(first_batch, kind=EventKind.M)
+    offset = trace[len(trace) - 1].timestamp_us if len(trace) else 0
+    shifted = [
+        Event(event.kind, event.variable, event.value, event.timestamp_us + offset)
+        for event in second_batch
+    ]
+    trace.extend(shifted)
+    combined = list(first_batch) + shifted
+    assert trace.select(kind=EventKind.M) == _linear_select(combined, kind=EventKind.M)
+    assert list(trace.events) == combined
+
+
+# ----------------------------------------------------------------------
 # Matching invariants
 # ----------------------------------------------------------------------
 @st.composite
