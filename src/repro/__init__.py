@@ -23,7 +23,13 @@ The package is organised by layer, mirroring the paper's methodology:
 * :mod:`repro.campaign` — the parallel test-campaign engine: declarative
   cartesian grids of schemes × scenarios × configurations, sharded across
   worker processes with content-keyed artifact caching and bit-reproducible
-  aggregation (``repro campaign`` on the command line).
+  aggregation (``repro campaign`` on the command line);
+* :mod:`repro.scenarios` — the scenario DSL and the seeded, coverage-guided
+  scenario generator (``repro explore`` on the command line).
+
+``docs/architecture.md`` draws the layer diagram and collects the design
+notes behind the campaign engine, the trace index and the scenario
+subsystem.
 
 Quickstart::
 

@@ -22,6 +22,10 @@ embarrassingly-parallel grid.  This package runs such grids as *campaigns*:
 Campaign aggregates are byte-identical for any worker count: every run is a
 pure function of its spec, seeds derive from grid coordinates rather than
 execution order, and records are re-sorted by grid index before aggregation.
+
+Scenario points either name a stock GPCA scenario or carry a
+:class:`repro.scenarios.ScenarioProgram` directly (the ``scenarios`` preset
+grid); see ``docs/architecture.md`` for the engine's design notes.
 """
 
 from .cache import ArtifactCache, chart_fingerprint, process_cache
@@ -45,6 +49,7 @@ from .spec import (
     interference_sweep_spec,
     period_sweep_spec,
     preset_spec,
+    scenario_grid_spec,
     table_one_spec,
 )
 from .worker import execute_run, execute_shard
@@ -76,6 +81,7 @@ __all__ = [
     "preset_spec",
     "process_cache",
     "run_campaign",
+    "scenario_grid_spec",
     "shard_grid",
     "table_one_spec",
 ]

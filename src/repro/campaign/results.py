@@ -64,9 +64,14 @@ class RunRecord:
         """Rebuild the M-test report, if this run performed M-testing."""
         if self.m_payload is None:
             return None
-        # The requirement is sample-independent; case_requirement's one-sample
+        # The requirement is sample-independent; program-backed runs carry it
+        # directly, and for stock scenarios case_requirement's one-sample
         # default avoids regenerating the run's full stimulus schedule here.
-        return m_report_from_dict(self.m_payload, case_requirement(self.spec.case))
+        if self.spec.program is not None:
+            requirement = self.spec.program.requirement
+        else:
+            requirement = case_requirement(self.spec.case)
+        return m_report_from_dict(self.m_payload, requirement)
 
     # ------------------------------------------------------------------
     @property

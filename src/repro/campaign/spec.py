@@ -29,8 +29,10 @@ from ..gpca.scenarios import (
     bolus_request_test_case,
     empty_reservoir_alarm_test_case,
     empty_reservoir_stop_test_case,
+    gpca_scenario_space,
 )
 from ..platform.kernel.time import ms
+from ..scenarios import ScenarioProgram, ScenarioSampler
 
 #: M-testing policies a campaign can request per run.
 M_TEST_ALL = "all"
@@ -161,19 +163,40 @@ class SchemePoint:
 
 @dataclass(frozen=True)
 class CasePoint:
-    """One scenario on the campaign's test-case axis."""
+    """One scenario on the campaign's test-case axis.
+
+    A point either names a stock scenario from :data:`CASE_BUILDERS` or
+    carries a :class:`repro.scenarios.ScenarioProgram` directly — the DSL
+    programs are frozen and picklable, so a generated scenario crosses the
+    worker boundary exactly like a named one.
+    """
 
     case: str
     samples: int = 10
     #: Explicit generation seed; derived from the campaign seed when ``None``.
     seed: Optional[int] = None
+    #: Scenario-DSL program backing this point (``case`` must be its name).
+    program: Optional[ScenarioProgram] = None
 
     def __post_init__(self) -> None:
-        if self.case not in CASE_BUILDERS:
+        if self.program is not None:
+            if self.case != self.program.name:
+                raise ValueError(
+                    f"case point name {self.case!r} does not match its program "
+                    f"{self.program.name!r}"
+                )
+        elif self.case not in CASE_BUILDERS:
             known = ", ".join(sorted(CASE_BUILDERS))
             raise ValueError(f"unknown campaign scenario {self.case!r} (known: {known})")
         if self.samples <= 0:
             raise ValueError("sample count must be positive")
+
+    @classmethod
+    def for_program(
+        cls, program: ScenarioProgram, *, seed: Optional[int] = None
+    ) -> "CasePoint":
+        """A case point for a scenario-DSL program (name and samples from it)."""
+        return cls(case=program.name, samples=program.samples, seed=seed, program=program)
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +216,8 @@ class RunSpec:
     period_us: Optional[int] = None
     interference_scale: Optional[float] = None
     m_test: str = M_TEST_ALL
+    #: Scenario-DSL program backing this run (stock named scenario when None).
+    program: Optional[ScenarioProgram] = None
 
     @property
     def label(self) -> str:
@@ -201,6 +226,11 @@ class RunSpec:
 
     def test_case(self) -> RTestCase:
         """Regenerate this run's stimulus schedule (deterministic)."""
+        if self.program is not None:
+            built = self.program.with_samples(self.samples).compile(self.case_seed)
+            if self.model == "extended":
+                built = _shifted_case(built, EXTENDED_MODEL_SHIFT_US)
+            return built
         return build_case(self.case, self.samples, self.case_seed, model=self.model)
 
     def to_dict(self) -> Dict[str, object]:
@@ -216,6 +246,7 @@ class RunSpec:
             "period_us": self.period_us,
             "interference_scale": self.interference_scale,
             "m_test": self.m_test,
+            "program": None if self.program is None else self.program.to_dict(),
         }
 
 
@@ -281,6 +312,7 @@ class CampaignSpec:
                     period_us=scheme_point.period_us,
                     interference_scale=scheme_point.interference_scale,
                     m_test=self.m_test,
+                    program=case_point.program,
                 )
             )
         return tuple(runs)
@@ -302,7 +334,12 @@ class CampaignSpec:
                 for point in self.schemes
             ],
             "cases": [
-                {"case": point.case, "samples": point.samples, "seed": point.seed}
+                {
+                    "case": point.case,
+                    "samples": point.samples,
+                    "seed": point.seed,
+                    "program": None if point.program is None else point.program.to_dict(),
+                }
                 for point in self.cases
             ],
         }
@@ -374,6 +411,31 @@ def full_grid_spec(samples: int = 5, base_seed: int = 0) -> CampaignSpec:
     )
 
 
+def scenario_grid_spec(
+    count: int = 4, samples: Optional[int] = None, base_seed: int = 0
+) -> CampaignSpec:
+    """Generated-scenario grid: all three schemes × ``count`` sampled programs.
+
+    The programs are drawn from :func:`repro.gpca.scenarios.gpca_scenario_space`
+    with a sampler seeded by ``base_seed``, so the grid — including every
+    program's shape — is a pure function of ``(count, samples, base_seed)``.
+    ``samples`` overrides each program's own sample count when given.
+    """
+    if count <= 0:
+        raise ValueError("scenario count must be positive")
+    sampler = ScenarioSampler(gpca_scenario_space(), seed=base_seed)
+    programs = [sampler.sample() for _ in range(count)]
+    if samples is not None:
+        programs = [program.with_samples(samples) for program in programs]
+    return CampaignSpec(
+        name="scenarios",
+        schemes=tuple(SchemePoint(scheme) for scheme in (1, 2, 3)),
+        cases=tuple(CasePoint.for_program(program) for program in programs),
+        base_seed=base_seed,
+        m_test=M_TEST_NONE,
+    )
+
+
 def preset_spec(grid: str, *, samples: Optional[int] = None, seed: Optional[int] = None) -> CampaignSpec:
     """Build one of the stock campaign grids, with optional overrides.
 
@@ -394,8 +456,10 @@ def preset_spec(grid: str, *, samples: Optional[int] = None, seed: Optional[int]
         )
     if grid == "full":
         return full_grid_spec(**overrides, **({} if seed is None else {"base_seed": seed}))
+    if grid == "scenarios":
+        return scenario_grid_spec(**overrides, **({} if seed is None else {"base_seed": seed}))
     raise ValueError(f"unknown campaign grid {grid!r} (known: {sorted(PRESETS)})")
 
 
 #: The stock grid names accepted by ``repro campaign --grid``.
-PRESETS = ("table1", "periods", "interference", "full")
+PRESETS = ("table1", "periods", "interference", "full", "scenarios")

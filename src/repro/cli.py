@@ -1,6 +1,6 @@
 """Command-line interface for the layered timing-testing framework.
 
-Five sub-commands cover the everyday workflows on the GPCA case study::
+Six sub-commands cover the everyday workflows on the GPCA case study::
 
     python -m repro verify    [--extended]
     python -m repro codegen   [--extended] [--output FILE]
@@ -10,12 +10,18 @@ Five sub-commands cover the everyday workflows on the GPCA case study::
     python -m repro campaign  [--grid NAME] [--workers N] [--samples N]
                               [--seed S] [--json FILE] [--csv FILE]
                               [--baseline FILE]
+    python -m repro explore   [--scheme {1,2,3}] [--model NAME]
+                              [--episodes N] [--seed S] [--json FILE]
 
 Every command prints its report to stdout; the optional file arguments
 additionally write machine-readable artefacts (JSON/CSV/C source/text).
 ``repro campaign`` runs a whole R-/M-testing grid — optionally sharded across
 worker processes — and ``--baseline`` measures serial versus parallel
 wall-clock (verifying the aggregates are byte-identical first).
+``repro explore`` runs the seeded coverage-guided scenario generator
+(:mod:`repro.scenarios`): it samples scenario programs, executes them against
+one implementation scheme and steers generation toward uncovered model
+transitions, printing the per-episode log and the final coverage summary.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import SchemeResult, TableOne, render_sweep
-from .campaign import PRESETS, CampaignRunner, preset_spec
+from .campaign import PRESETS, CampaignRunner, preset_spec, process_cache
 from .codegen import generate_code
 from .core import MTestAnalyzer, RTestRunner, render_m_report, render_r_report
 from .core.serialization import m_report_to_json, r_report_to_csv, r_report_to_json
@@ -40,12 +46,15 @@ from .gpca import (
     build_extended_statechart,
     build_fig2_statechart,
     build_pump_interface,
+    build_scheme_system,
     gpca_requirements,
+    gpca_scenario_space,
     req1_bolus_start,
     scheme_factory,
     scheme_name,
 )
 from .model.verification import BoundedResponseChecker
+from .scenarios import CoverageGuidedExplorer
 
 
 def _chart_for(extended: bool):
@@ -197,8 +206,6 @@ def _campaign_baseline(spec, args: argparse.Namespace) -> int:
     # baseline's host metadata.
     import multiprocessing
 
-    from .campaign import process_cache
-
     process_cache().artifacts_for_model(spec.model)
 
     print(f"baseline: running {spec.name!r} grid ({spec.size} runs) serially ...")
@@ -257,6 +264,42 @@ def _campaign_baseline(spec, args: argparse.Namespace) -> int:
         f"(speedup {payload['speedup']}x on {payload['host']['schedulable_cpus']} "
         f"schedulable CPUs); baseline written to {args.baseline}"
     )
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Run seeded coverage-guided scenario exploration against one scheme.
+
+    Samples scenario programs from the GPCA scenario space, executes each
+    compiled program against a fresh system of the requested scheme, and
+    biases further sampling toward programs that covered new generated
+    transitions.  The whole run is a pure function of the arguments, so the
+    same seed always prints the same episode log and coverage summary.
+    """
+    if args.episodes <= 0:
+        print("repro explore: error: episode count must be positive", file=sys.stderr)
+        return 2
+    artifacts = process_cache().artifacts_for_model(args.model)
+
+    def factory():
+        return build_scheme_system(
+            args.scheme,
+            seed=args.sut_seed,
+            use_extended_model=args.model == "extended",
+            artifacts=artifacts,
+        )
+
+    explorer = CoverageGuidedExplorer(
+        gpca_scenario_space(), factory, artifacts.code_model, seed=args.seed
+    )
+    report = explorer.explore(args.episodes)
+    print(f"scheme: {scheme_name(args.scheme)}, model: {args.model}")
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"exploration report written to {args.json}")
     return 0
 
 
@@ -324,6 +367,41 @@ def build_parser() -> argparse.ArgumentParser:
         "aggregates) and write the timings to this JSON file",
     )
     campaign.set_defaults(handler=cmd_campaign)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="coverage-guided scenario generation against one implementation scheme",
+    )
+    explore.add_argument(
+        "--scheme",
+        type=int,
+        choices=sorted(ALL_SCHEMES),
+        default=1,
+        help="implementation scheme to explore (default: 1, single-threaded)",
+    )
+    explore.add_argument(
+        "--model",
+        choices=("fig2", "extended"),
+        default="fig2",
+        help="model whose generated transitions are the coverage target (default: fig2)",
+    )
+    explore.add_argument(
+        "--episodes",
+        type=int,
+        default=24,
+        help="exploration episodes to run (default: 24)",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=0, help="exploration seed (default: 0)"
+    )
+    explore.add_argument(
+        "--sut-seed",
+        type=int,
+        default=11,
+        help="seed of the systems under test (default: 11)",
+    )
+    explore.add_argument("--json", help="write the exploration report as JSON")
+    explore.set_defaults(handler=cmd_explore)
 
     return parser
 

@@ -47,6 +47,9 @@ one pass.  Batch construction paths — :meth:`Trace.extend` for validated
 batches and the trusted :meth:`Trace.from_sorted` used by
 :meth:`Trace.restricted_to` — therefore never re-validate or re-index
 event-by-event.
+
+``docs/architecture.md`` ("The trace index") places this design in the
+context of the whole stack and records the measured speedups.
 """
 
 from __future__ import annotations

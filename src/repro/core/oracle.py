@@ -51,9 +51,14 @@ class ResponseMatcher:
         """Pair every stimulus in ``trace`` with its response.
 
         A response is attributed to the earliest still-unmatched stimulus that
-        precedes it.  With ``timeout_us`` given, responses arriving more than
-        the timeout after their stimulus are not attributed to it (the pair is
-        reported unanswered, which R-testing renders as MAX).
+        precedes it.  With ``timeout_us`` given, a response arriving more than
+        the timeout after its candidate stimulus is not attributed to it: the
+        pair is reported unanswered (which R-testing renders as MAX), and —
+        unlike the pre-index implementation, which silently discarded it — the
+        late response is **not consumed**.  It remains available as a
+        candidate for the *next* stimulus, so one slow sample can never
+        cascade into artificial MAX verdicts for every sample after it
+        (pinned by ``tests/core/test_oracle.py``).
         """
         stimuli = [
             event

@@ -25,10 +25,73 @@ from .delays import DelaySegments, TransitionDelay
 from .four_variables import Event, EventKind, Trace
 from .m_testing import MTestReport
 from .r_testing import RSample, RTestReport, SampleVerdict
-from .requirements import TimingRequirement
+from .requirements import EventSpec, MatchMode, TimingRequirement
 from .test_generation import RTestCase
 
 FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Requirements
+# ----------------------------------------------------------------------
+def event_spec_to_dict(spec: EventSpec) -> Dict[str, Any]:
+    """Convert an event specification to a JSON-serialisable dictionary."""
+    return {
+        "variable": spec.variable,
+        "mode": spec.mode.value,
+        "value": spec.value,
+        "description": spec.description,
+    }
+
+
+def event_spec_from_dict(payload: Dict[str, Any]) -> EventSpec:
+    """Rebuild an event specification from :func:`event_spec_to_dict` output."""
+    return EventSpec(
+        variable=payload["variable"],
+        mode=MatchMode(payload.get("mode", MatchMode.BECOMES.value)),
+        value=payload.get("value", True),
+        description=payload.get("description", ""),
+    )
+
+
+def requirement_to_dict(requirement: TimingRequirement) -> Dict[str, Any]:
+    """Convert a timing requirement to a dictionary that round-trips fully.
+
+    Unlike the summary block embedded in R-test report exports, this encoding
+    carries every field — stimulus/response specifications, separation bound
+    and the optional model-level counterpart — so scenario programs can embed
+    requirements in campaign artefacts and reconstruct them exactly.
+    """
+    return {
+        "id": requirement.requirement_id,
+        "stimulus": event_spec_to_dict(requirement.stimulus),
+        "response": event_spec_to_dict(requirement.response),
+        "deadline_us": requirement.deadline_us,
+        "description": requirement.description,
+        "timeout_us": requirement.timeout_us,
+        "min_stimulus_separation_us": requirement.min_stimulus_separation_us,
+        "model_trigger_event": requirement.model_trigger_event,
+        "model_response_variable": requirement.model_response_variable,
+        "model_response_value": requirement.model_response_value,
+        "model_trigger_state": requirement.model_trigger_state,
+    }
+
+
+def requirement_from_dict(payload: Dict[str, Any]) -> TimingRequirement:
+    """Rebuild a timing requirement from :func:`requirement_to_dict` output."""
+    return TimingRequirement(
+        requirement_id=payload["id"],
+        stimulus=event_spec_from_dict(payload["stimulus"]),
+        response=event_spec_from_dict(payload["response"]),
+        deadline_us=payload["deadline_us"],
+        description=payload.get("description", ""),
+        timeout_us=payload.get("timeout_us"),
+        min_stimulus_separation_us=payload.get("min_stimulus_separation_us", 0),
+        model_trigger_event=payload.get("model_trigger_event"),
+        model_response_variable=payload.get("model_response_variable"),
+        model_response_value=payload.get("model_response_value"),
+        model_trigger_state=payload.get("model_trigger_state"),
+    )
 
 
 # ----------------------------------------------------------------------

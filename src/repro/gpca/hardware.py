@@ -105,9 +105,11 @@ def build_platform_bundle(
         "m-EmptyReservoir": environment.schedule_reservoir_empty,
         "m-Occlusion": environment.schedule_occlusion,
         "m-DoorOpen": environment.schedule_door_open,
-        # Setup/recovery action used by multi-step scenarios (not a measured
-        # m-event of any requirement): the caregiver replaces the syringe.
+        # Setup/recovery actions used by multi-step scenarios (not measured
+        # m-events of any requirement): the caregiver replaces the syringe /
+        # closes the pump door.
         "m-ReservoirRefill": environment.schedule_reservoir_refill,
+        "m-DoorClose": environment.schedule_door_close,
     }
 
     return PlatformBundle(

@@ -1,11 +1,22 @@
-"""Named test scenarios of the GPCA case study.
+"""Named test scenarios of the GPCA case study, as scenario-DSL programs.
 
-Each scenario builds the R-test case (stimulus schedule) for one requirement.
+Each scenario is a declarative :class:`repro.scenarios.ScenarioProgram` that
+compiles to the R-test case (stimulus schedule) for one requirement.  The
+four legacy builder functions (``bolus_request_test_case`` & friends) are
+kept as the stable public API and now delegate to the programs; their
+compiled schedules are byte-identical to the hand-written originals (pinned
+by ``tests/scenarios/test_dsl.py``).
+
 Scenarios that need the pump to be in a particular state first (e.g. the
 empty-reservoir requirements only make sense while an infusion is running)
-prepend the necessary *setup* stimuli; setup stimuli use different monitored
-variables than the requirement's stimulus, so they never influence the
-R-testing verdict — they only steer the system into the right state.
+declare *setup* steps in their program; setup steps use monitored variables
+different from the requirement's measured stimulus, so they never influence
+the R-testing verdict — they only steer the system into the right state.
+*Teardown* steps (clear the alarm, refill the reservoir) likewise recover
+the system so the next sample again starts from Idle.
+
+:func:`gpca_scenario_space` bounds the universe of *generated* GPCA
+scenarios for the coverage-guided explorer (``repro explore``).
 """
 
 from __future__ import annotations
@@ -13,9 +24,19 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..core.requirements import TimingRequirement
-from ..core.test_generation import RTestCase, RTestGenerator, Stimulus, TestGenerationConfig
+from ..core.test_generation import RTestCase
 from ..platform.kernel.time import ms, seconds
+from ..scenarios import (
+    ROLE_SETUP,
+    ROLE_TEARDOWN,
+    CycleSpacing,
+    ScenarioProgram,
+    ScenarioSpace,
+    StimulusPattern,
+    StimulusStep,
+)
 from .requirements import (
+    gpca_requirements,
     req1_bolus_start,
     req2_empty_reservoir_alarm,
     req3_empty_reservoir_stop,
@@ -26,7 +47,113 @@ from .requirements import (
 #: (bolus duration 4000 ms plus margin).
 BOLUS_SPACING_US = ms(4600)
 
+#: Cycle length of the multi-step scenarios (setup + measured + recovery).
+SCENARIO_CYCLE_US = seconds(8)
 
+
+# ----------------------------------------------------------------------
+# The four evaluation scenarios as DSL programs
+# ----------------------------------------------------------------------
+def bolus_request_program(
+    samples: int = 10,
+    *,
+    requirement: Optional[TimingRequirement] = None,
+    randomized: bool = True,
+    start_offset_us: int = ms(150),
+) -> ScenarioProgram:
+    """The Table I scenario as a program: repeated bolus requests vs REQ1.
+
+    A *pure stimulus* program (no setup/teardown), so it lowers through
+    :class:`repro.core.test_generation.RTestGenerator` exactly like the
+    original hand-written builder.  ``start_offset_us`` delays the first
+    request; runs against the extended GPCA model must start after its
+    500 ms power-on self test, since a request issued during the self test
+    is ignored by the model (and therefore by a conformant implementation).
+    """
+    requirement = requirement or req1_bolus_start()
+    if randomized:
+        spacing = CycleSpacing(BOLUS_SPACING_US, BOLUS_SPACING_US + ms(900))
+        name = "bolus-request"
+    else:
+        spacing = CycleSpacing(BOLUS_SPACING_US)
+        name = "bolus-request-uniform"
+    return ScenarioProgram(
+        name=name,
+        requirement=requirement,
+        spacing=spacing,
+        samples=samples,
+        start_offset_us=start_offset_us,
+    )
+
+
+def _empty_reservoir_program(requirement: TimingRequirement, samples: int) -> ScenarioProgram:
+    """Shared program of the empty-reservoir requirements (REQ2 / REQ3).
+
+    Each cycle: request a bolus (setup), force the reservoir empty one second
+    into the infusion (measured), then clear the alarm and refill (teardown)
+    so the next cycle again starts from Idle.
+    """
+    return ScenarioProgram(
+        name=f"empty-reservoir-{requirement.requirement_id}",
+        requirement=requirement,
+        spacing=CycleSpacing(SCENARIO_CYCLE_US),
+        samples=samples,
+        start_offset_us=ms(150),
+        setup=(StimulusStep("m-BolusReq", 0, ROLE_SETUP),),
+        stimulus=StimulusPattern(offset_us=seconds(1)),
+        teardown=(
+            StimulusStep("m-ClearAlarm", seconds(3), ROLE_TEARDOWN),
+            StimulusStep("m-ReservoirRefill", seconds(4), ROLE_TEARDOWN),
+        ),
+        description="reservoir empties mid-infusion; alarm and motor stop are timed",
+    )
+
+
+def empty_reservoir_alarm_program(samples: int = 5) -> ScenarioProgram:
+    """REQ2 program: buzzer annunciation latency when the reservoir empties."""
+    return _empty_reservoir_program(req2_empty_reservoir_alarm(), samples)
+
+
+def empty_reservoir_stop_program(samples: int = 5) -> ScenarioProgram:
+    """REQ3 program: motor stop latency when the reservoir empties."""
+    return _empty_reservoir_program(req3_empty_reservoir_stop(), samples)
+
+
+def alarm_clear_program(samples: int = 5) -> ScenarioProgram:
+    """REQ4 program: buzzer silencing latency on caregiver acknowledgement.
+
+    Setup per cycle: bolus request, then the reservoir empties (the alarm
+    starts); the measured stimulus is the clear-alarm press itself.
+    """
+    return ScenarioProgram(
+        name="alarm-clear",
+        requirement=req4_alarm_clear(),
+        spacing=CycleSpacing(SCENARIO_CYCLE_US),
+        samples=samples,
+        start_offset_us=ms(150),
+        setup=(
+            StimulusStep("m-BolusReq", 0, ROLE_SETUP),
+            StimulusStep("m-EmptyReservoir", seconds(1), ROLE_SETUP),
+        ),
+        stimulus=StimulusPattern(offset_us=seconds(3)),
+        teardown=(StimulusStep("m-ReservoirRefill", seconds(4), ROLE_TEARDOWN),),
+        description="caregiver clears the empty-reservoir alarm; silencing is timed",
+    )
+
+
+def all_requirement_programs(samples: int = 5) -> List[ScenarioProgram]:
+    """One scenario program per GPCA timing requirement."""
+    return [
+        bolus_request_program(samples),
+        empty_reservoir_alarm_program(samples),
+        empty_reservoir_stop_program(samples),
+        alarm_clear_program(samples),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Legacy builder API (compiled from the programs above)
+# ----------------------------------------------------------------------
 def bolus_request_test_case(
     samples: int = 10,
     *,
@@ -35,82 +162,28 @@ def bolus_request_test_case(
     randomized: bool = True,
     start_offset_us: int = ms(150),
 ) -> RTestCase:
-    """The Table I scenario: repeated bolus requests judged against REQ1.
-
-    ``start_offset_us`` delays the first request; runs against the extended
-    GPCA model must start after its 500 ms power-on self test, since a request
-    issued during the self test is ignored by the model (and therefore by a
-    conformant implementation).
-    """
-    requirement = requirement or req1_bolus_start()
-    config = TestGenerationConfig(
-        sample_count=samples,
-        start_offset_us=start_offset_us,
-        min_separation_us=BOLUS_SPACING_US,
-        max_separation_us=BOLUS_SPACING_US + ms(900),
-        seed=seed,
-    )
-    generator = RTestGenerator(requirement, config)
-    return generator.randomized(name="bolus-request") if randomized else generator.uniform(
-        name="bolus-request-uniform"
-    )
-
-
-def _empty_reservoir_case(requirement: TimingRequirement, samples: int) -> RTestCase:
-    """Shared schedule for the empty-reservoir requirements (REQ2 / REQ3).
-
-    Each sample is: request a bolus, then force the reservoir empty one second
-    into the infusion.  The bolus request is a setup stimulus; the measured
-    stimulus is the reservoir-empty m-event.  After the alarm, the caregiver
-    clears it so the next sample again starts from Idle.
-    """
-    stimuli: List[Stimulus] = []
-    cycle_us = seconds(8)
-    for index in range(samples):
-        base = ms(150) + index * cycle_us
-        stimuli.append(Stimulus(base, "m-BolusReq"))                      # setup
-        stimuli.append(Stimulus(base + seconds(1), "m-EmptyReservoir"))   # measured
-        stimuli.append(Stimulus(base + seconds(3), "m-ClearAlarm"))       # recovery
-        stimuli.append(Stimulus(base + seconds(4), "m-ReservoirRefill"))  # recovery
-    return RTestCase(
-        name=f"empty-reservoir-{requirement.requirement_id}",
+    """The Table I scenario: repeated bolus requests judged against REQ1."""
+    return bolus_request_program(
+        samples,
         requirement=requirement,
-        stimuli=tuple(stimuli),
-        description="reservoir empties mid-infusion; alarm and motor stop are timed",
-    )
+        randomized=randomized,
+        start_offset_us=start_offset_us,
+    ).compile(seed)
 
 
 def empty_reservoir_alarm_test_case(samples: int = 5) -> RTestCase:
     """REQ2 scenario: buzzer annunciation latency when the reservoir empties."""
-    return _empty_reservoir_case(req2_empty_reservoir_alarm(), samples)
+    return empty_reservoir_alarm_program(samples).compile()
 
 
 def empty_reservoir_stop_test_case(samples: int = 5) -> RTestCase:
     """REQ3 scenario: motor stop latency when the reservoir empties."""
-    return _empty_reservoir_case(req3_empty_reservoir_stop(), samples)
+    return empty_reservoir_stop_program(samples).compile()
 
 
 def alarm_clear_test_case(samples: int = 5) -> RTestCase:
-    """REQ4 scenario: buzzer silencing latency on caregiver acknowledgement.
-
-    Setup per sample: bolus request, reservoir empties (alarm starts), then the
-    measured clear-alarm press.
-    """
-    requirement = req4_alarm_clear()
-    stimuli: List[Stimulus] = []
-    cycle_us = seconds(8)
-    for index in range(samples):
-        base = ms(150) + index * cycle_us
-        stimuli.append(Stimulus(base, "m-BolusReq"))                      # setup
-        stimuli.append(Stimulus(base + seconds(1), "m-EmptyReservoir"))   # setup
-        stimuli.append(Stimulus(base + seconds(3), "m-ClearAlarm"))       # measured
-        stimuli.append(Stimulus(base + seconds(4), "m-ReservoirRefill"))  # recovery
-    return RTestCase(
-        name="alarm-clear",
-        requirement=requirement,
-        stimuli=tuple(stimuli),
-        description="caregiver clears the empty-reservoir alarm; silencing is timed",
-    )
+    """REQ4 scenario: buzzer silencing latency on caregiver acknowledgement."""
+    return alarm_clear_program(samples).compile()
 
 
 def all_requirement_test_cases(samples: int = 5, *, seed: int = 0) -> List[RTestCase]:
@@ -121,3 +194,34 @@ def all_requirement_test_cases(samples: int = 5, *, seed: int = 0) -> List[RTest
         empty_reservoir_stop_test_case(samples),
         alarm_clear_test_case(samples),
     ]
+
+
+# ----------------------------------------------------------------------
+# The generated-scenario universe
+# ----------------------------------------------------------------------
+def gpca_scenario_space() -> ScenarioSpace:
+    """The bounded universe of generated GPCA scenarios.
+
+    Setup steps may press any non-measured button or force platform
+    conditions — including occlusion and door-open, which only the extended
+    model reacts to (against Fig. 2 they are harmless no-ops, against the
+    extended chart they unlock its alarm/pause transitions).  Teardown steps
+    are restricted to the recovery actions (clear the alarm, refill the
+    reservoir).  Spacing and sample ranges are chosen so a compiled program
+    executes in a few simulated seconds.
+    """
+    return ScenarioSpace(
+        requirements=tuple(gpca_requirements()),
+        setup_variables=(
+            "m-BolusReq",
+            "m-EmptyReservoir",
+            "m-ClearAlarm",
+            "m-ReservoirRefill",
+            "m-Occlusion",
+            "m-DoorOpen",
+            "m-DoorClose",
+        ),
+        teardown_variables=("m-ClearAlarm", "m-ReservoirRefill", "m-DoorClose"),
+        samples=(2, 5),
+        cycle_spacing_us=(ms(800), SCENARIO_CYCLE_US),
+    )

@@ -163,6 +163,10 @@ class PatientEnvironment:
             label="env:door",
         )
 
+    def schedule_door_close(self, at_us: int) -> None:
+        """Close the pump door at ``at_us`` (the recovery of a door-open pause)."""
+        self.schedule_door_open(at_us, False)
+
     def schedule_reservoir_empty(self, at_us: int) -> None:
         """Force the reservoir to read empty at ``at_us`` (caregiver removed syringe)."""
         self.scheduled_stimuli.append({"kind": "reservoir_empty", "at_us": at_us, "value": True})

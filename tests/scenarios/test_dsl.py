@@ -1,0 +1,184 @@
+"""Tests of the scenario DSL: compilation, determinism, legacy equivalence."""
+
+import json
+
+import pytest
+
+from repro.core.test_generation import RTestGenerator, TestGenerationConfig
+from repro.gpca import (
+    alarm_clear_program,
+    alarm_clear_test_case,
+    bolus_request_program,
+    bolus_request_test_case,
+    empty_reservoir_alarm_program,
+    empty_reservoir_alarm_test_case,
+    empty_reservoir_stop_program,
+    empty_reservoir_stop_test_case,
+    req1_bolus_start,
+    req2_empty_reservoir_alarm,
+)
+from repro.platform.kernel.time import ms, seconds
+from repro.scenarios import (
+    ROLE_SETUP,
+    ROLE_TEARDOWN,
+    CycleSpacing,
+    ScenarioProgram,
+    StimulusPattern,
+    StimulusStep,
+)
+
+
+class TestLegacyScenarioEquivalence:
+    """The DSL programs reproduce the hand-written builders byte for byte.
+
+    The expected schedules are pinned as literals (not recomputed through the
+    delegating builders), so a regression in either the DSL or the builders
+    is caught against ground truth.
+    """
+
+    def test_bolus_request_randomized_matches_pinned_schedule(self):
+        case = bolus_request_program(4).compile(seed=0)
+        assert case == bolus_request_test_case(4, seed=0)
+        assert case.name == "bolus-request"
+        assert [s.variable for s in case.stimuli] == ["m-BolusReq"] * 4
+        # Pinned: RandomSource(0).stream("rtest") inter-arrival draws.
+        assert case.stimulus_times() == [150_000, 5_457_656, 10_504_287, 15_900_905]
+
+    def test_bolus_request_uniform_matches_legacy(self):
+        program = bolus_request_program(5, randomized=False)
+        case = program.compile(seed=3)
+        assert case == bolus_request_test_case(5, seed=3, randomized=False)
+        assert case.name == "bolus-request-uniform"
+        gaps = {b - a for a, b in zip(case.stimulus_times(), case.stimulus_times()[1:])}
+        assert gaps == {ms(4600)}
+
+    def test_empty_reservoir_programs_match_legacy(self):
+        for program_builder, case_builder in [
+            (empty_reservoir_alarm_program, empty_reservoir_alarm_test_case),
+            (empty_reservoir_stop_program, empty_reservoir_stop_test_case),
+        ]:
+            for samples in (1, 3, 5):
+                assert program_builder(samples).compile() == case_builder(samples)
+
+    def test_empty_reservoir_alarm_pinned_first_cycle(self):
+        case = empty_reservoir_alarm_program(2).compile()
+        assert [(s.at_us, s.variable) for s in case.stimuli[:4]] == [
+            (ms(150), "m-BolusReq"),
+            (ms(150) + seconds(1), "m-EmptyReservoir"),
+            (ms(150) + seconds(3), "m-ClearAlarm"),
+            (ms(150) + seconds(4), "m-ReservoirRefill"),
+        ]
+        assert case.stimuli[4].at_us == ms(150) + seconds(8)
+
+    def test_alarm_clear_program_matches_legacy(self):
+        for samples in (1, 2, 5):
+            assert alarm_clear_program(samples).compile() == alarm_clear_test_case(samples)
+
+
+class TestCompilation:
+    def test_same_seed_compiles_identically(self):
+        program = bolus_request_program(8)
+        assert program.compile(seed=42) == program.compile(seed=42)
+
+    def test_different_seed_changes_jittered_schedule(self):
+        program = bolus_request_program(8)
+        assert program.compile(seed=1).stimulus_times() != program.compile(seed=2).stimulus_times()
+
+    def test_fixed_spacing_ignores_seed(self):
+        program = empty_reservoir_alarm_program(3)
+        assert program.compile(seed=1) == program.compile(seed=99)
+
+    def test_pure_program_lowers_through_core_generator(self):
+        requirement = req1_bolus_start()
+        program = bolus_request_program(6, requirement=requirement)
+        generator = RTestGenerator(
+            requirement,
+            TestGenerationConfig(
+                sample_count=6,
+                start_offset_us=ms(150),
+                min_separation_us=ms(4600),
+                max_separation_us=ms(5500),
+                seed=17,
+            ),
+        )
+        assert program.compile(seed=17) == generator.randomized(name="bolus-request")
+
+    def test_general_path_orders_interleaved_steps(self):
+        program = ScenarioProgram(
+            name="interleaved",
+            requirement=req2_empty_reservoir_alarm(),
+            spacing=CycleSpacing(seconds(2)),
+            samples=2,
+            start_offset_us=0,
+            setup=(StimulusStep("m-BolusReq", ms(500), ROLE_SETUP),),
+            stimulus=StimulusPattern(offset_us=ms(100)),
+            teardown=(StimulusStep("m-ReservoirRefill", seconds(3), ROLE_TEARDOWN),),
+        )
+        times = program.compile().stimulus_times()
+        assert times == sorted(times)
+
+    def test_burst_pattern_emits_gap_separated_measured_stimuli(self):
+        program = ScenarioProgram(
+            name="burst",
+            requirement=req2_empty_reservoir_alarm(),
+            spacing=CycleSpacing(seconds(5)),
+            samples=2,
+            stimulus=StimulusPattern(burst=3, burst_gap_us=ms(400)),
+        )
+        case = program.compile()
+        assert case.sample_count == 6
+        times = case.stimulus_times()
+        assert times[1] - times[0] == ms(400) and times[2] - times[1] == ms(400)
+
+    def test_with_samples_recompiles_to_new_count(self):
+        program = empty_reservoir_alarm_program(2)
+        assert program.with_samples(4).compile().sample_count == 4 * 4
+
+
+class TestValidation:
+    def test_rejects_burst_gap_below_requirement_separation(self):
+        with pytest.raises(ValueError, match="minimum stimulus separation"):
+            ScenarioProgram(
+                name="bad",
+                requirement=req1_bolus_start(),
+                spacing=CycleSpacing(seconds(10)),
+                stimulus=StimulusPattern(burst=2, burst_gap_us=ms(100)),
+            )
+
+    def test_rejects_spacing_below_requirement_separation(self):
+        with pytest.raises(ValueError, match="minimum stimulus separation"):
+            ScenarioProgram(
+                name="bad",
+                requirement=req1_bolus_start(),
+                spacing=CycleSpacing(ms(500)),
+            )
+
+    def test_rejects_step_on_measured_variable(self):
+        with pytest.raises(ValueError, match="collide"):
+            ScenarioProgram(
+                name="bad",
+                requirement=req2_empty_reservoir_alarm(),
+                spacing=CycleSpacing(seconds(5)),
+                setup=(StimulusStep("m-EmptyReservoir", 0),),
+            )
+
+    def test_rejects_inverted_spacing_and_bad_pattern(self):
+        with pytest.raises(ValueError):
+            CycleSpacing(seconds(2), seconds(1))
+        with pytest.raises(ValueError):
+            StimulusPattern(burst=0)
+        with pytest.raises(ValueError):
+            StimulusStep("m-X", -1)
+
+
+class TestCanonicalEncoding:
+    def test_program_round_trips_through_dict(self):
+        for program in [
+            bolus_request_program(7),
+            empty_reservoir_alarm_program(3),
+            alarm_clear_program(2),
+        ]:
+            payload = json.loads(json.dumps(program.to_dict()))
+            restored = ScenarioProgram.from_dict(payload)
+            assert restored == program
+            assert restored.compile(seed=5) == program.compile(seed=5)
