@@ -1,0 +1,130 @@
+"""Benchmark: mutant-generation throughput and kill-matrix campaign speed.
+
+Measures the three performance-relevant stages of the fault-injection /
+mutation-analysis subsystem and records the acceptance-relevant detection
+results, all deterministically:
+
+* **mutant generation** — mutants generated per second over the fig2 and
+  extended GPCA charts, including the structural-fingerprint dedup pass
+  (which dominates: every candidate chart is fingerprinted);
+* **kill-matrix throughput** — runs per second of the default
+  (faults × mutants × schemes × scenarios) grid through the campaign runner,
+  serial versus parallel, with the byte-identity of the two aggregates
+  asserted (parallel sharding must never change a verdict);
+* **detection power** — the mutation score of the GPCA requirement scenarios
+  against the generated fig2 mutants and the per-class detection verdict of
+  the default seeded fault suite.  These are the numbers the subsystem
+  exists to produce: the default suite must detect every platform fault
+  class and the requirement tests must kill >= 80 % of the mutants.
+
+Results land in ``BENCH_faults.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.campaign import CampaignRunner, default_worker_count
+from repro.faults import KillMatrix, default_matrix_spec, generate_mutants
+from repro.gpca.model import build_extended_statechart, build_fig2_statechart
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+GENERATION_ROUNDS = 25
+SAMPLES = 3
+SEED = 0
+
+
+def generate_all_mutants():
+    """One generation round: mutants of both GPCA charts (including dedup)."""
+    return generate_mutants(build_fig2_statechart()) + generate_mutants(
+        build_extended_statechart()
+    )
+
+
+def test_fault_subsystem_throughput_and_detection(write_artifact):
+    """Measure generation + kill-matrix throughput; record BENCH_faults.json."""
+    # Mutant generation: repeated rounds, determinism checked.
+    mutants = generate_all_mutants()
+    started = time.perf_counter()
+    for _ in range(GENERATION_ROUNDS):
+        assert generate_all_mutants() == mutants, "mutant generation is not deterministic"
+    generation_s = time.perf_counter() - started
+    mutants_per_second = GENERATION_ROUNDS * len(mutants) / generation_s
+
+    # Kill matrix: serial, then parallel; aggregates must be byte-identical.
+    spec = default_matrix_spec(samples=SAMPLES, base_seed=SEED)
+    started = time.perf_counter()
+    serial = CampaignRunner(spec, workers=1).run()
+    serial_s = time.perf_counter() - started
+
+    workers = max(2, default_worker_count())
+    started = time.perf_counter()
+    parallel_runner = CampaignRunner(spec, workers=workers)
+    parallel = parallel_runner.run()
+    parallel_s = time.perf_counter() - started
+    if not parallel_runner.fell_back_to_serial:
+        assert serial.to_json() == parallel.to_json(), (
+            "serial and parallel kill-matrix aggregates differ"
+        )
+
+    # Detection power (the subsystem's acceptance numbers).
+    matrix = KillMatrix.from_campaign(spec, serial)
+    score = matrix.mutation_score
+    detected = sorted(matrix.detected_faults())
+    undetected = sorted(matrix.undetected_faults())
+    assert score is not None and score >= 0.8, (
+        f"GPCA requirement tests kill only {score:.0%} of generated mutants"
+    )
+    assert not undetected, f"platform fault classes undetected: {undetected}"
+
+    payload = {
+        "seed": SEED,
+        "generation": {
+            "rounds": GENERATION_ROUNDS,
+            "mutants_per_round": len(mutants),
+            "seconds": round(generation_s, 4),
+            "mutants_per_second": round(mutants_per_second, 1),
+        },
+        "kill_matrix": {
+            "runs": spec.size,
+            "samples": SAMPLES,
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "parallel_workers": workers,
+            "schedulable_cpus": default_worker_count(),
+            "runs_per_second": round(spec.size / serial_s, 2),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+            "fell_back_to_serial": parallel_runner.fell_back_to_serial,
+            "byte_identical": not parallel_runner.fell_back_to_serial
+            and serial.to_json() == parallel.to_json(),
+        },
+        "detection": {
+            "mutation_score": score,
+            "mutants": len(matrix.mutant_cells),
+            "killed": sorted(matrix.killed_mutants()),
+            "surviving": sorted(matrix.surviving_mutants()),
+            "fault_classes": len(matrix.fault_cells),
+            "detected_faults": detected,
+            "undetected_faults": undetected,
+            "detected_by": {
+                name: matrix.fault_detecting_cases(name) for name in sorted(matrix.fault_cells)
+            },
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    lines = [
+        f"generated {len(mutants)} mutants/round x {GENERATION_ROUNDS} rounds "
+        f"in {generation_s:.3f} s ({mutants_per_second:.0f} mutants/s)",
+        f"kill matrix: {spec.size} runs serial {serial_s:.2f} s "
+        f"({payload['kill_matrix']['runs_per_second']} runs/s), "
+        f"parallel {parallel_s:.2f} s x{workers} workers "
+        f"(speedup {payload['kill_matrix']['speedup']})",
+        f"mutation score {score:.0%}, fault classes detected "
+        f"{len(detected)}/{len(matrix.fault_cells)}",
+        matrix.render(),
+    ]
+    write_artifact("faults.txt", "\n".join(lines))

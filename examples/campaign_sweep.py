@@ -15,15 +15,21 @@ Run with:  python examples/campaign_sweep.py
 
 from __future__ import annotations
 
-import os
-
 from repro.analysis import render_sweep
-from repro.campaign import CampaignRunner, CampaignSpec, CasePoint, SchemePoint
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    CasePoint,
+    SchemePoint,
+    default_worker_count,
+)
 from repro.platform.kernel.time import ms
 
 #: Polling periods to sweep on the single-threaded scheme (paper value: 25 ms).
 PERIODS_MS = (10, 25, 50)
-WORKERS = min(4, os.cpu_count() or 1)
+# Schedulable CPUs (cgroup-aware), not os.cpu_count(): a 1-CPU container
+# should run serially instead of over-sharding.
+WORKERS = min(4, default_worker_count())
 
 
 def build_spec() -> CampaignSpec:

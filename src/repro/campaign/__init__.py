@@ -30,7 +30,7 @@ grid); see ``docs/architecture.md`` for the engine's design notes.
 
 from .cache import ArtifactCache, chart_fingerprint, process_cache
 from .results import CampaignResult, RunRecord
-from .runner import CampaignRunner, run_campaign, shard_grid
+from .runner import CampaignRunner, default_worker_count, run_campaign, shard_grid
 from .spec import (
     CASE_BUILDERS,
     M_TEST_ALL,
@@ -72,6 +72,7 @@ __all__ = [
     "build_case",
     "case_requirement",
     "chart_fingerprint",
+    "default_worker_count",
     "derive_seed",
     "execute_run",
     "execute_shard",

@@ -154,19 +154,41 @@ class ArtifactCache:
         self.misses = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _builder_for(model: str):
+        try:
+            return MODEL_BUILDERS[model]
+        except KeyError:
+            known = ", ".join(sorted(MODEL_BUILDERS))
+            raise ValueError(f"unknown model {model!r} (known: {known})") from None
+
     def artifacts_for_model(self, model: str) -> GeneratedArtifacts:
         """Artifacts for a named model ("fig2" / "extended")."""
         cached = self._by_model.get(model)
         if cached is not None:
             self.hits += 1
             return cached
-        try:
-            builder = MODEL_BUILDERS[model]
-        except KeyError:
-            known = ", ".join(sorted(MODEL_BUILDERS))
-            raise ValueError(f"unknown model {model!r} (known: {known})") from None
-        artifacts = self.artifacts_for_chart(builder())
+        artifacts = self.artifacts_for_chart(self._builder_for(model)())
         self._by_model[model] = artifacts
+        return artifacts
+
+    def artifacts_for_mutant(self, model: str, mutant) -> GeneratedArtifacts:
+        """Artifacts for a named model with one mutation applied.
+
+        ``mutant`` is a :class:`repro.faults.mutants.MutantSpec` (duck-typed —
+        anything with ``mutant_id`` and ``apply(chart)``).  Memoised per
+        ``(model, mutant_id)`` so a kill-matrix campaign rebuilds and
+        regenerates each mutant at most once per worker process; structurally
+        identical mutants additionally share artifacts via the fingerprint
+        level, like any other chart.
+        """
+        key = f"{model}::{mutant.mutant_id}"
+        cached = self._by_model.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        artifacts = self.artifacts_for_chart(mutant.apply(self._builder_for(model)()))
+        self._by_model[key] = artifacts
         return artifacts
 
     def artifacts_for_chart(self, chart: Statechart) -> GeneratedArtifacts:

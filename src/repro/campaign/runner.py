@@ -16,6 +16,7 @@ up spread across shards instead of stacked on one worker.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -24,6 +25,21 @@ from typing import List, Optional, Sequence, Tuple
 from .results import CampaignResult, RunRecord
 from .spec import CampaignSpec, RunSpec
 from .worker import execute_shard
+
+
+def default_worker_count() -> int:
+    """The number of CPUs this process may actually be scheduled on.
+
+    Uses ``len(os.sched_getaffinity(0))`` — the *schedulable* CPU count —
+    rather than ``os.cpu_count()``, which reports the host's physical count
+    even inside a 1-CPU container cgroup.  Auto-detected worker counts based
+    on ``cpu_count`` over-shard on such containers and misreport parallel
+    speedup (see ``BENCH_campaign.json`` from a 1-CPU dev container).
+    Falls back to ``cpu_count`` on platforms without CPU affinity.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
 
 
 def shard_grid(runs: Sequence[RunSpec], shards: int) -> List[Tuple[RunSpec, ...]]:
@@ -38,10 +54,11 @@ class CampaignRunner:
     """Executes a campaign spec, serially or across a process pool."""
 
     def __init__(self, spec: CampaignSpec, *, workers: int = 1) -> None:
+        """``workers=0`` means auto-detect: one worker per schedulable CPU."""
         if workers < 0:
             raise ValueError("worker count cannot be negative")
         self.spec = spec
-        self.workers = workers
+        self.workers = workers if workers > 0 else default_worker_count()
         #: Set after :meth:`run` when a pool failure forced the serial path.
         self.fell_back_to_serial = False
         #: The error message of the pool failure, when one occurred.

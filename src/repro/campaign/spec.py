@@ -19,7 +19,11 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # imported lazily to keep campaign free of a faults dependency
+    from ..faults.models import FaultPlan
+    from ..faults.mutants import MutantSpec
 
 from ..core.requirements import TimingRequirement
 from ..core.test_generation import RTestCase, Stimulus
@@ -218,11 +222,20 @@ class RunSpec:
     m_test: str = M_TEST_ALL
     #: Scenario-DSL program backing this run (stock named scenario when None).
     program: Optional[ScenarioProgram] = None
+    #: Platform fault plan instrumented into the system (clean run when None).
+    faults: Optional["FaultPlan"] = None
+    #: Model mutation applied before code generation (original model when None).
+    mutant: Optional["MutantSpec"] = None
 
     @property
     def label(self) -> str:
         point = SchemePoint(self.scheme, self.period_us, self.interference_scale)
-        return f"{point.label}/{self.case}"
+        label = f"{point.label}/{self.case}"
+        if self.faults is not None and not self.faults.empty:
+            label += f"+{self.faults.name}"
+        if self.mutant is not None:
+            label += f"+{self.mutant.mutant_id}"
+        return label
 
     def test_case(self) -> RTestCase:
         """Regenerate this run's stimulus schedule (deterministic)."""
@@ -247,6 +260,8 @@ class RunSpec:
             "interference_scale": self.interference_scale,
             "m_test": self.m_test,
             "program": None if self.program is None else self.program.to_dict(),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "mutant": None if self.mutant is None else self.mutant.to_dict(),
         }
 
 

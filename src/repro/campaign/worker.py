@@ -24,17 +24,28 @@ from ..gpca.interface import build_pump_interface
 from ..gpca.pump import build_scheme_system
 from .cache import process_cache
 from .results import RunRecord
-from .spec import M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec
+from .spec import M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec, derive_seed
 
 
 def execute_run(spec: RunSpec) -> RunRecord:
-    """Execute one campaign run: R-testing, then the spec's M-testing policy."""
+    """Execute one campaign run: R-testing, then the spec's M-testing policy.
+
+    Fault-matrix coordinates are honoured here: a ``mutant`` swaps the
+    generated artifacts for the mutated model's (cached per mutant id), and a
+    non-empty ``faults`` plan instruments every freshly built system with a
+    seed derived from the run's coordinates — both without touching the clean
+    path, so a spec with neither remains bit-for-bit the pre-faults run.
+    """
     started = time.perf_counter()
-    artifacts = process_cache().artifacts_for_model(spec.model)
+    cache = process_cache()
+    if spec.mutant is not None:
+        artifacts = cache.artifacts_for_mutant(spec.model, spec.mutant)
+    else:
+        artifacts = cache.artifacts_for_model(spec.model)
     test_case = spec.test_case()
 
     def factory():
-        return build_scheme_system(
+        system = build_scheme_system(
             spec.scheme,
             seed=spec.sut_seed,
             use_extended_model=spec.model == "extended",
@@ -42,6 +53,11 @@ def execute_run(spec: RunSpec) -> RunRecord:
             interference_scale=spec.interference_scale,
             artifacts=artifacts,
         )
+        if spec.faults is not None and not spec.faults.empty:
+            spec.faults.instrument(
+                system, seed=derive_seed(spec.sut_seed, "faults", spec.faults.name, spec.case)
+            )
+        return system
 
     r_report = execute_r_test(factory, test_case)
 

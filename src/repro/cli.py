@@ -1,6 +1,6 @@
 """Command-line interface for the layered timing-testing framework.
 
-Six sub-commands cover the everyday workflows on the GPCA case study::
+Seven sub-commands cover the everyday workflows on the GPCA case study::
 
     python -m repro verify    [--extended]
     python -m repro codegen   [--extended] [--output FILE]
@@ -12,16 +12,23 @@ Six sub-commands cover the everyday workflows on the GPCA case study::
                               [--baseline FILE]
     python -m repro explore   [--scheme {1,2,3}] [--model NAME]
                               [--episodes N] [--seed S] [--json FILE]
+    python -m repro faults    [--samples N] [--workers N] [--seed S]
+                              [--model NAME] [--hunt N] [--list] [--json FILE]
 
 Every command prints its report to stdout; the optional file arguments
 additionally write machine-readable artefacts (JSON/CSV/C source/text).
 ``repro campaign`` runs a whole R-/M-testing grid — optionally sharded across
-worker processes — and ``--baseline`` measures serial versus parallel
-wall-clock (verifying the aggregates are byte-identical first).
+worker processes (``--workers 0`` auto-detects one worker per schedulable
+CPU) — and ``--baseline`` measures serial versus parallel wall-clock
+(verifying the aggregates are byte-identical first).
 ``repro explore`` runs the seeded coverage-guided scenario generator
 (:mod:`repro.scenarios`): it samples scenario programs, executes them against
 one implementation scheme and steers generation toward uncovered model
 transitions, printing the per-episode log and the final coverage summary.
+``repro faults`` runs the fault-injection / mutation-analysis kill matrix
+(:mod:`repro.faults`): the default seeded fault suite and the generated model
+mutants fanned against the GPCA requirement scenarios, with ``--hunt`` aiming
+the coverage-guided survivor hunter at any mutants the fixed scenarios miss.
 """
 
 from __future__ import annotations
@@ -36,8 +43,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import SchemeResult, TableOne, render_sweep
-from .campaign import PRESETS, CampaignRunner, preset_spec, process_cache
+from .campaign import PRESETS, CampaignRunner, default_worker_count, preset_spec, process_cache
 from .codegen import generate_code
+from .faults import KillMatrix, SurvivorHunter, default_matrix_spec
 from .core import MTestAnalyzer, RTestRunner, render_m_report, render_r_report
 from .core.serialization import m_report_to_json, r_report_to_csv, r_report_to_json
 from .gpca import (
@@ -195,7 +203,10 @@ def _campaign_baseline(spec, args: argparse.Namespace) -> int:
     byte-identical, and writes the measured timings (plus enough host
     metadata to interpret them) to ``args.baseline``.
     """
-    workers = args.workers if args.workers > 1 else 4
+    # The parallel leg defaults to the *schedulable* CPU count (floored at 2,
+    # since a 1-worker leg would verify nothing).  Using cpu_count here
+    # over-shards inside CPU-limited containers and misreports speedup.
+    workers = args.workers if args.workers > 1 else max(2, default_worker_count())
     if args.workers <= 1:
         print(f"note: --baseline needs a parallel leg; using {workers} workers for it")
     # Warm the parent's artifact cache before timing either leg so the serial
@@ -251,9 +262,7 @@ def _campaign_baseline(spec, args: argparse.Namespace) -> int:
         "host": {
             "mp_start_method": multiprocessing.get_start_method(),
             "cpu_count": os.cpu_count(),
-            "schedulable_cpus": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else os.cpu_count(),
+            "schedulable_cpus": default_worker_count(),
             "python": platform_module.python_version(),
             "platform": platform_module.platform(),
         },
@@ -264,6 +273,84 @@ def _campaign_baseline(spec, args: argparse.Namespace) -> int:
         f"(speedup {payload['speedup']}x on {payload['host']['schedulable_cpus']} "
         f"schedulable CPUs); baseline written to {args.baseline}"
     )
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run the fault-injection / mutation-analysis kill matrix.
+
+    Expands the default seeded fault suite and the generated model mutants
+    into a (faults × mutants × schemes × scenarios) grid, fans it through the
+    campaign runner (optionally parallel) and prints the scored kill matrix:
+    which requirement scenarios detect each platform fault class, which kill
+    each mutant, and the resulting mutation score.  ``--hunt N`` afterwards
+    aims the coverage-guided survivor hunter at the mutants the fixed
+    scenarios missed.
+    """
+    if args.samples <= 0:
+        print("repro faults: error: sample count must be positive", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print("repro faults: error: worker count cannot be negative", file=sys.stderr)
+        return 2
+    spec = default_matrix_spec(samples=args.samples, base_seed=args.seed, model=args.model)
+
+    if args.list:
+        print(f"fault suite ({len(spec.fault_plans)} plans):")
+        for plan in spec.fault_plans:
+            print(f"  {plan.describe()}")
+        print(f"mutants of model {args.model!r} ({len(spec.mutants)}):")
+        for mutant in spec.mutants:
+            print(f"  {mutant.mutant_id:<40} {mutant.description}")
+        return 0
+
+    print(
+        f"kill matrix: {len(spec.fault_plans)} fault plans x {len(spec.mutants)} mutants "
+        f"x schemes {spec.baseline_schemes} x {len(spec.cases)} scenarios "
+        f"({spec.size} runs, {args.samples} samples each)"
+    )
+    runner = CampaignRunner(spec, workers=args.workers)
+    result = runner.run()
+    if runner.fell_back_to_serial:
+        print(f"warning: process pool unavailable ({runner.fallback_reason}); ran serially")
+    matrix = KillMatrix.from_campaign(spec, result)
+    print(matrix.render())
+    print(
+        f"wall clock: {result.wall_seconds:.2f} s "
+        f"({result.workers} worker{'s' if result.workers != 1 else ''})"
+    )
+
+    hunt_report = None
+    if args.hunt > 0 and matrix.surviving_mutants():
+        surviving = set(matrix.surviving_mutants())
+        survivors = [mutant for mutant in spec.mutants if mutant.mutant_id in surviving]
+        hunter = SurvivorHunter(
+            gpca_scenario_space(),
+            survivors,
+            scheme=spec.mutant_schemes[0],
+            model=args.model,
+            seed=args.seed,
+        )
+        hunt_report = hunter.hunt(args.hunt)
+        print()
+        print(hunt_report.summary())
+    elif args.hunt > 0:
+        print("no surviving mutants to hunt")
+
+    if args.json:
+        payload = {
+            "matrix": matrix.to_dict(),
+            "hunt": None if hunt_report is None else hunt_report.to_dict(),
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"kill-matrix report written to {args.json}")
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv(), encoding="utf-8")
+        print(f"per-run summary written to {args.csv}")
+    # Like `repro campaign`, completion — not conformance — sets the exit
+    # code: killed mutants and detected faults are the *expected* outcome.
     return 0
 
 
@@ -351,7 +438,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes to shard the grid across (default: 1, serial)",
+        help="worker processes to shard the grid across "
+        "(default: 1, serial; 0 = one per schedulable CPU)",
     )
     campaign.add_argument(
         "--samples", type=int, default=None, help="samples per test case (default: grid-specific)"
@@ -402,6 +490,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument("--json", help="write the exploration report as JSON")
     explore.set_defaults(handler=cmd_explore)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="fault-injection / mutation-analysis kill matrix (repro.faults)",
+    )
+    faults.add_argument(
+        "--samples", type=int, default=3, help="samples per scenario run (default: 3)"
+    )
+    faults.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes to shard the matrix across "
+        "(default: 1, serial; 0 = one per schedulable CPU)",
+    )
+    faults.add_argument("--seed", type=int, default=0, help="matrix seed (default: 0)")
+    faults.add_argument(
+        "--model",
+        choices=("fig2", "extended"),
+        default="fig2",
+        help="model the mutants are generated from (default: fig2)",
+    )
+    faults.add_argument(
+        "--hunt",
+        type=int,
+        default=0,
+        help="run up to N survivor-hunter episodes on mutants the fixed "
+        "scenarios miss (default: 0, off)",
+    )
+    faults.add_argument(
+        "--list",
+        action="store_true",
+        help="list the fault suite and generated mutants without running",
+    )
+    faults.add_argument("--json", help="write the kill-matrix (and hunt) report as JSON")
+    faults.add_argument("--csv", help="write the per-run summary as CSV")
+    faults.set_defaults(handler=cmd_faults)
 
     return parser
 

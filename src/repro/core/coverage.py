@@ -154,8 +154,12 @@ def wilson_interval(successes: int, samples: int, confidence: float = 0.95) -> t
     denominator = 1 + z * z / samples
     centre = phat + z * z / (2 * samples)
     margin = z * math.sqrt((phat * (1 - phat) + z * z / (4 * samples)) / samples)
-    low = max(0.0, (centre - margin) / denominator)
-    high = min(1.0, (centre + margin) / denominator)
+    # The Wilson interval always contains the observed proportion; clamp to
+    # that mathematical guarantee, because at phat=0 (or 1) centre and margin
+    # are equal in exact arithmetic and sqrt rounding can leave a bound on
+    # the wrong side of phat by ~1e-17.
+    low = max(0.0, min(phat, (centre - margin) / denominator))
+    high = min(1.0, max(phat, (centre + margin) / denominator))
     return low, high
 
 

@@ -1,0 +1,261 @@
+"""Model-mutant generation over :mod:`repro.model.statechart`.
+
+Mutation analysis turns the R-/M-testing machinery from "does the correct
+implementation conform?" into a measurement of *detection power*: seed a small
+behavioural defect into the model, regenerate CODE(M), run the GPCA
+requirement tests, and check whether any verdict changes (the mutant is
+*killed*).  The operators are the classic timed-automata mutation set,
+restricted to what the statechart vocabulary expresses:
+
+* **timing** — scale a temporal trigger's tick bound by ±δ;
+* **guard-negate** — replace a transition guard by its negation;
+* **retarget** — redirect a transition to a different target state;
+* **action-drop** — remove one assignment from a transition's action list.
+
+A :class:`MutantSpec` carries *no callables* — only the operator and its
+parameters — so it pickles across campaign worker processes; the mutated
+chart (which may contain closures, e.g. negated guards) is rebuilt inside the
+worker by :meth:`MutantSpec.apply`.  Generation is deterministic and
+structurally deduplicated: candidates whose chart fingerprint equals the
+original's or an earlier mutant's are discarded, and timing mutations of
+``before`` bounds are excluded by default because generated code resolves
+``before`` eagerly — mutating the bound yields a *known-equivalent* mutant
+(the standard exclusion in mutation-testing practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.cache import chart_fingerprint
+from ..model.statechart import Statechart, Transition
+from ..model.temporal import Before
+
+#: The operators :func:`generate_mutants` applies, in application order.
+ALL_OPERATORS = ("timing", "guard-negate", "retarget", "action-drop")
+
+#: Default relative deltas of the timing operator (new bound = round(ticks * scale)).
+DEFAULT_TIMING_SCALES = (0.5, 1.5)
+
+
+class MutantError(ValueError):
+    """Raised when a mutant spec cannot be applied to a chart."""
+
+
+@dataclass(frozen=True)
+class MutantSpec:
+    """One model mutation, picklable and re-applicable in any process.
+
+    ``mutant_id`` is a stable human-readable identifier derived from the
+    operator and its parameters (never from generation order), so kill-matrix
+    rows keep their identity when the operator set changes.
+    """
+
+    operator: str
+    transition: str
+    mutant_id: str
+    #: New tick bound (timing operator).
+    ticks: Optional[int] = None
+    #: New target state (retarget operator).
+    target: Optional[str] = None
+    #: Index of the dropped action (action-drop operator).
+    action_index: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.operator not in ALL_OPERATORS:
+            raise ValueError(
+                f"unknown mutation operator {self.operator!r} (known: {ALL_OPERATORS})"
+            )
+
+    # ------------------------------------------------------------------
+    def apply(self, chart: Statechart) -> Statechart:
+        """Rebuild ``chart`` with this mutation applied (the chart is untouched)."""
+        original = _find_transition(chart, self.transition)
+        if self.operator == "timing":
+            if original.temporal is None or self.ticks is None:
+                raise MutantError(f"{self.mutant_id}: transition has no temporal trigger")
+            mutated = replace(original, temporal=replace(original.temporal, ticks=self.ticks))
+        elif self.operator == "guard-negate":
+            guard = original.guard
+            if guard is None:
+                raise MutantError(f"{self.mutant_id}: transition has no guard to negate")
+            mutated = replace(original, guard=lambda context, _g=guard: not _g(context))
+        elif self.operator == "retarget":
+            if self.target is None:
+                raise MutantError(f"{self.mutant_id}: retarget needs a target state")
+            mutated = replace(original, target=self.target)
+        elif self.operator == "action-drop":
+            index = self.action_index
+            if index is None or not 0 <= index < len(original.actions):
+                raise MutantError(f"{self.mutant_id}: action index out of range")
+            actions = original.actions[:index] + original.actions[index + 1:]
+            mutated = replace(original, actions=actions)
+        else:  # pragma: no cover - __post_init__ guarantees the operators above
+            raise MutantError(f"unknown operator {self.operator!r}")
+        return _clone_chart(chart, {original.name: mutated})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "operator": self.operator,
+            "transition": self.transition,
+            "mutant_id": self.mutant_id,
+            "ticks": self.ticks,
+            "target": self.target,
+            "action_index": self.action_index,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MutantSpec":
+        return cls(
+            operator=payload["operator"],
+            transition=payload["transition"],
+            mutant_id=payload["mutant_id"],
+            ticks=payload.get("ticks"),
+            target=payload.get("target"),
+            action_index=payload.get("action_index"),
+            description=payload.get("description", ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# Chart surgery helpers
+# ----------------------------------------------------------------------
+def _find_transition(chart: Statechart, name: str) -> Transition:
+    try:
+        return chart.transition(name)
+    except KeyError:
+        raise MutantError(f"chart {chart.name!r} has no transition {name!r}") from None
+
+
+def _clone_chart(chart: Statechart, replacements: Dict[str, Transition]) -> Statechart:
+    """A structural copy of ``chart`` with named transitions replaced.
+
+    The clone keeps the chart *name* so fingerprints reflect structure only —
+    that is what makes fingerprint-based dedup meaningful (a mutation that
+    does not change the structure hashes identically to the original).
+    """
+    clone = Statechart(chart.name)
+    initial = chart.initial_state
+    for state in chart.states:
+        clone.add_state(state, initial=state.name == initial)
+    for event in chart.input_events:
+        clone.add_input_event(event)
+    for variable in chart.output_variables:
+        clone.add_output_variable(variable)
+    for variable in chart.local_variables:
+        clone.add_local_variable(variable)
+    for transition in chart.transitions:
+        clone.add_transition(replacements.get(transition.name, transition))
+    return clone
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def _retarget_candidate(chart: Statechart, transition: Transition) -> Optional[str]:
+    """The deterministic retarget for one transition.
+
+    The replacement target is the state that follows the original target in
+    declaration order (wrapping around), skipping the source and the original
+    target; ``None`` when the chart is too small to offer one.
+    """
+    names = chart.state_names
+    start = names.index(transition.target)
+    for offset in range(1, len(names)):
+        candidate = names[(start + offset) % len(names)]
+        if candidate not in (transition.source, transition.target):
+            return candidate
+    return None
+
+
+def generate_mutants(
+    chart: Statechart,
+    *,
+    operators: Sequence[str] = ALL_OPERATORS,
+    timing_scales: Sequence[float] = DEFAULT_TIMING_SCALES,
+    include_equivalent: bool = False,
+) -> Tuple[MutantSpec, ...]:
+    """Generate the deduplicated mutant set of ``chart``.
+
+    Deterministic: the result depends only on the chart structure and the
+    options.  Structural dedup discards candidates whose mutated-chart
+    fingerprint equals the original's or an earlier candidate's (e.g. a
+    timing scale that rounds back to the original bound).
+
+    ``include_equivalent`` re-admits the known-equivalent class excluded by
+    default: timing mutations of ``before`` bounds, which generated code
+    (eager ``before`` semantics) cannot distinguish from the original.
+    """
+    for operator in operators:
+        if operator not in ALL_OPERATORS:
+            raise ValueError(f"unknown mutation operator {operator!r} (known: {ALL_OPERATORS})")
+
+    candidates: List[MutantSpec] = []
+    for transition in chart.transitions:
+        if "timing" in operators and transition.temporal is not None:
+            if include_equivalent or not isinstance(transition.temporal, Before):
+                for scale in timing_scales:
+                    ticks = max(0, int(round(transition.temporal.ticks * scale)))
+                    candidates.append(
+                        MutantSpec(
+                            operator="timing",
+                            transition=transition.name,
+                            mutant_id=f"timing:{transition.name}:{ticks}",
+                            ticks=ticks,
+                            description=(
+                                f"{transition.name}: temporal bound "
+                                f"{transition.temporal.ticks} -> {ticks} ticks"
+                            ),
+                        )
+                    )
+        if "guard-negate" in operators and transition.guard is not None:
+            candidates.append(
+                MutantSpec(
+                    operator="guard-negate",
+                    transition=transition.name,
+                    mutant_id=f"negate:{transition.name}",
+                    description=f"{transition.name}: guard negated",
+                )
+            )
+        if "retarget" in operators:
+            target = _retarget_candidate(chart, transition)
+            if target is not None:
+                candidates.append(
+                    MutantSpec(
+                        operator="retarget",
+                        transition=transition.name,
+                        mutant_id=f"retarget:{transition.name}:{target}",
+                        target=target,
+                        description=(
+                            f"{transition.name}: target {transition.target} -> {target}"
+                        ),
+                    )
+                )
+        if "action-drop" in operators:
+            for index, action in enumerate(transition.actions):
+                candidates.append(
+                    MutantSpec(
+                        operator="action-drop",
+                        transition=transition.name,
+                        mutant_id=f"drop:{transition.name}:{index}:{action.variable}",
+                        action_index=index,
+                        description=(
+                            f"{transition.name}: drop assignment #{index} "
+                            f"({action.variable})"
+                        ),
+                    )
+                )
+
+    original_fingerprint = chart_fingerprint(chart)
+    seen = {original_fingerprint}
+    unique: List[MutantSpec] = []
+    for spec in candidates:
+        fingerprint = chart_fingerprint(spec.apply(chart))
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        unique.append(spec)
+    return tuple(unique)

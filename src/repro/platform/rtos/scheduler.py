@@ -174,6 +174,10 @@ class RTOSScheduler:
             # Previous activation still in progress: skip this release (and
             # count it as a deadline miss).  Under heavy interference this is
             # what starves the CODE(M) thread in implementation scheme 3.
+            # This path and the late-completion path in _finish_job count
+            # *disjoint* activations — a skipped release never became a job,
+            # a late completion did — so no miss is ever double-counted
+            # (pinned by TestDeadlineMissAccounting).
             task.stats.deadline_misses += 1
             return
         job = Job(task, task.job_factory(), self.simulator.now, self._job_sequence)

@@ -4,11 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+import os
+
 from repro.campaign import (
     CampaignRunner,
     CampaignSpec,
     CasePoint,
     SchemePoint,
+    default_worker_count,
     execute_run,
     run_campaign,
     shard_grid,
@@ -104,6 +107,19 @@ class TestRunnerDeterminism:
     def test_rejects_negative_worker_count(self):
         with pytest.raises(ValueError):
             CampaignRunner(tiny_spec(), workers=-1)
+
+    def test_workers_zero_auto_detects_schedulable_cpus(self):
+        runner = CampaignRunner(tiny_spec(), workers=0)
+        assert runner.workers == default_worker_count()
+
+    def test_default_worker_count_uses_affinity_not_cpu_count(self):
+        count = default_worker_count()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            # The schedulable count is what a CPU-limited container exposes;
+            # cpu_count would report the host's physical CPUs instead.
+            assert count == len(os.sched_getaffinity(0))
+            assert count <= (os.cpu_count() or count)
 
     def test_workers_reports_actual_parallelism_not_request(self):
         single_run = CampaignSpec(

@@ -1,0 +1,29 @@
+"""CLI coverage of the ``repro faults`` sub-command."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+def test_faults_list_prints_suite_and_mutants(capsys):
+    assert main(["faults", "--list"]) == 0
+    output = capsys.readouterr().out
+    assert "fault suite (7 plans):" in output
+    assert "clock-drift" in output
+    assert "mutants of model 'fig2' (12):" in output
+    assert "drop:t_start_infusion:0:o-MotorState" in output
+
+
+def test_faults_list_extended_model(capsys):
+    assert main(["faults", "--list", "--model", "extended"]) == 0
+    assert "mutants of model 'extended'" in capsys.readouterr().out
+
+
+def test_faults_rejects_invalid_samples(capsys):
+    assert main(["faults", "--samples", "0"]) == 2
+    assert "sample count must be positive" in capsys.readouterr().err
+
+
+def test_faults_rejects_negative_workers(capsys):
+    assert main(["faults", "--workers", "-2"]) == 2
+    assert "worker count cannot be negative" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Kill-matrix engine: grid expansion, scoring and campaign integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner
+from repro.faults import (
+    FaultMatrixSpec,
+    FaultPlan,
+    KillMatrix,
+    MutantSpec,
+    SensorStuckFault,
+    run_kill_matrix,
+)
+
+STUCK_BUTTON = FaultPlan((SensorStuckFault(device="bolus_button"),), name="stuck-button")
+MOTOR_DROP = MutantSpec(
+    operator="action-drop",
+    transition="t_start_infusion",
+    mutant_id="drop:t_start_infusion:0:o-MotorState",
+    action_index=0,
+)
+
+
+def tiny_spec(**overrides) -> FaultMatrixSpec:
+    """One fault x one mutant x scheme 2 x the bolus scenario (fast)."""
+    options = dict(
+        name="tiny-matrix",
+        fault_plans=(STUCK_BUTTON,),
+        mutants=(MOTOR_DROP,),
+        fault_schemes=(2,),
+        mutant_schemes=(2,),
+        cases=("bolus-request",),
+        samples=2,
+    )
+    options.update(overrides)
+    return FaultMatrixSpec(**options)
+
+
+class TestSpecExpansion:
+    def test_baselines_come_first_and_indices_are_sequential(self):
+        runs = tiny_spec().expand()
+        assert [run.index for run in runs] == list(range(len(runs)))
+        assert runs[0].faults is None and runs[0].mutant is None
+        assert runs[1].faults is not None and runs[1].mutant is None
+        assert runs[2].faults is None and runs[2].mutant is not None
+
+    def test_injected_runs_share_the_baseline_seeds(self):
+        """Only the defect may differ between a baseline and an injected run."""
+        baseline, faulted, mutated = tiny_spec().expand()
+        assert faulted.sut_seed == baseline.sut_seed
+        assert faulted.case_seed == baseline.case_seed
+        assert mutated.sut_seed == baseline.sut_seed
+        assert mutated.case_seed == baseline.case_seed
+
+    def test_size_matches_expansion(self):
+        spec = tiny_spec(fault_schemes=(1, 2), cases=("bolus-request", "alarm-clear"))
+        assert spec.size == len(spec.expand())
+
+    def test_labels_carry_the_injected_coordinate(self):
+        _, faulted, mutated = tiny_spec().expand()
+        assert "+stuck-button" in faulted.label
+        assert "+drop:t_start_infusion:0:o-MotorState" in mutated.label
+
+    def test_spec_to_dict_is_canonical(self):
+        payload = tiny_spec().to_dict()
+        assert payload["fault_plans"][0]["name"] == "stuck-button"
+        assert payload["mutants"][0]["mutant_id"] == MOTOR_DROP.mutant_id
+        assert payload["size"] == 3
+
+    def test_rejects_bad_axes(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            tiny_spec(cases=("not-a-scenario",))
+        with pytest.raises(ValueError, match="unknown implementation scheme"):
+            tiny_spec(fault_schemes=(7,))
+        with pytest.raises(ValueError, match="sample count"):
+            tiny_spec(samples=0)
+
+    def test_rejects_empty_and_duplicate_axis_points(self):
+        # An empty plan would score as a baseline and vanish from the matrix.
+        with pytest.raises(ValueError, match="is empty"):
+            tiny_spec(fault_plans=(FaultPlan(),))
+        with pytest.raises(ValueError, match="unique"):
+            tiny_spec(fault_plans=(STUCK_BUTTON, STUCK_BUTTON))
+        with pytest.raises(ValueError, match="unique"):
+            tiny_spec(mutants=(MOTOR_DROP, MOTOR_DROP))
+
+
+class TestScoring:
+    @pytest.fixture(scope="class")
+    def matrix(self) -> KillMatrix:
+        return run_kill_matrix(tiny_spec())
+
+    def test_stuck_button_is_detected(self, matrix):
+        assert matrix.detected_faults() == ["stuck-button"]
+        assert matrix.fault_detecting_cases("stuck-button") == ["bolus-request"]
+
+    def test_motor_drop_mutant_is_killed(self, matrix):
+        assert matrix.killed_mutants() == [MOTOR_DROP.mutant_id]
+        assert matrix.surviving_mutants() == []
+        assert matrix.mutation_score == 1.0
+
+    def test_render_summarises_both_axes(self, matrix):
+        rendered = matrix.render()
+        assert "fault classes detected: 1/1" in rendered
+        assert "mutation score: 1/1 (100%)" in rendered
+        assert "KILL" in rendered
+
+    def test_to_dict_records_cells_deterministically(self, matrix):
+        payload = matrix.to_dict()
+        assert payload["mutation_score"] == 1.0
+        assert payload["faults"]["stuck-button"]["detected"] is True
+        assert payload["faults"]["stuck-button"]["detected_by"] == ["bolus-request"]
+        cell = payload["mutants"][MOTOR_DROP.mutant_id]["cells"][0]
+        assert cell["baseline_passed"] is True and cell["killed"] is True
+
+    def test_unscoreable_when_baseline_fails(self):
+        # Scheme 3 fails bolus-request on its own; nothing can be attributed.
+        matrix = run_kill_matrix(tiny_spec(fault_schemes=(3,), mutant_schemes=(3,)))
+        assert matrix.detected_faults() == []
+        assert matrix.killed_mutants() == []
+        assert "(base fails)" in matrix.render()
+
+    def test_mutation_score_is_none_without_a_mutant_axis(self):
+        matrix = run_kill_matrix(tiny_spec(mutants=()))
+        assert matrix.mutation_score is None
+
+
+class TestCampaignIntegration:
+    def test_matrix_campaign_is_deterministic(self):
+        spec = tiny_spec()
+        first = CampaignRunner(spec, workers=1).run()
+        second = CampaignRunner(spec, workers=1).run()
+        assert first.to_json() == second.to_json()
+
+    @pytest.mark.slow
+    def test_parallel_matrix_aggregate_is_byte_identical_to_serial(self):
+        spec = tiny_spec()
+        serial = CampaignRunner(spec, workers=1).run()
+        parallel = CampaignRunner(spec, workers=2).run()
+        assert serial.to_json() == parallel.to_json()

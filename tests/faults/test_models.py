@@ -1,0 +1,249 @@
+"""Unit tests for the platform fault models and fault plans."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    ClockDriftFault,
+    ExecutionInflationFault,
+    FaultPlan,
+    PriorityInversionFault,
+    QueueFault,
+    SensorGlitchFault,
+    SensorStuckFault,
+    default_fault_suite,
+    fault_from_dict,
+)
+from repro.gpca.pump import build_scheme_system
+from repro.platform.kernel.random import JitterModel, RandomSource
+from repro.platform.kernel.simulator import Simulator
+from repro.platform.kernel.time import ms
+from repro.platform.rtos.directives import Compute
+from repro.platform.rtos.scheduler import RTOSScheduler
+
+
+class _StubSystem:
+    """The minimal system surface the fault models instrument."""
+
+    class _Bundle:
+        def __init__(self, simulator, hardware=None):
+            self.simulator = simulator
+            self.hardware = hardware
+
+    def __init__(self, simulator=None, hardware=None):
+        simulator = simulator or Simulator()
+        self.bundle = self._Bundle(simulator, hardware)
+        self.scheduler = RTOSScheduler(simulator)
+
+
+def _rng(name="test"):
+    return RandomSource(0).stream(name)
+
+
+class TestClockDrift:
+    def test_relative_delays_scale_and_absolute_times_do_not(self):
+        system = _StubSystem()
+        simulator = system.bundle.simulator
+        ClockDriftFault(drift=1.0).instrument(system, _rng())
+        fired = []
+        simulator.schedule(ms(10), lambda: fired.append(("relative", simulator.now)))
+        simulator.schedule_at(ms(10), lambda: fired.append(("absolute", simulator.now)))
+        simulator.run_until(ms(30))
+        assert ("absolute", ms(10)) in fired
+        assert ("relative", ms(20)) in fired  # 10 ms doubled by the drift
+
+    def test_rejects_total_clock_stop(self):
+        with pytest.raises(ValueError):
+            ClockDriftFault(drift=-1.0)
+
+
+class TestExecutionInflation:
+    def _run_one_job(self, fault):
+        system = _StubSystem()
+        simulator, scheduler = system.bundle.simulator, system.scheduler
+        if fault is not None:
+            fault.instrument(system, _rng())
+        done = []
+
+        def job():
+            yield Compute(ms(2))
+            done.append(simulator.now)
+
+        task = scheduler.create_task("codem", priority=1, job_factory=job)
+        scheduler.start()
+        scheduler.activate(task)
+        simulator.run_until(ms(50))
+        return done[0]
+
+    def test_factor_inflates_compute_segments(self):
+        assert self._run_one_job(None) == ms(2)
+        assert self._run_one_job(ExecutionInflationFault(factor=3.0)) == ms(6)
+
+    def test_task_filter_restricts_scope(self):
+        # The stub's only task is named "codem"; a filter for another name
+        # must leave its compute segments untouched.
+        assert self._run_one_job(ExecutionInflationFault(factor=3.0, task="sensing")) == ms(2)
+
+    def test_overrun_is_seed_deterministic(self):
+        fault = ExecutionInflationFault(
+            factor=1.0, overrun=JitterModel(ms(5), ms(1), ms(1)), overrun_probability=1.0
+        )
+        first = self._run_one_job(fault)
+        second = self._run_one_job(fault)
+        assert first == second
+        assert first >= ms(2) + ms(4)  # nominal segment plus at least the overrun floor
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            ExecutionInflationFault(overrun_probability=1.5)
+
+
+class TestQueueFault:
+    def _system_with_queue(self, fault):
+        system = _StubSystem()
+        fault.instrument(system, _rng())
+        queue = system.scheduler.create_queue("i_events", capacity=8)
+        return system, queue
+
+    def test_drop_loses_messages_silently(self):
+        _, queue = self._system_with_queue(QueueFault(queue="i_events", drop_probability=1.0))
+        assert queue.send("occurrence") is True  # sender sees success
+        assert len(queue) == 0
+
+    def test_delay_redelivers_later_and_wakes_receivers(self):
+        system, queue = self._system_with_queue(
+            QueueFault(queue="i_events", delay_us=ms(5), delay_probability=1.0)
+        )
+        simulator = system.bundle.simulator
+        assert queue.send("late") is True
+        assert len(queue) == 0
+        simulator.run_until(ms(10))
+        assert queue.receive_nowait() == "late"
+
+    def test_reorder_jumps_the_fifo(self):
+        _, queue = self._system_with_queue(QueueFault(queue="i_events", reorder_probability=1.0))
+        queue.send("first")
+        queue.send("second")
+        assert queue.receive_nowait() == "second"
+
+    def test_rejects_delay_probability_without_a_delay(self):
+        """A delay probability with delay_us=0 would be a silent no-op fault."""
+        with pytest.raises(ValueError, match="delay_us"):
+            QueueFault(queue="o_events", delay_probability=0.8)
+
+    def test_rejects_probabilities_summing_above_one(self):
+        """Drop/delay/reorder are disjoint slices of one roll; a sum above one
+        would silently cap the later outcomes below their configured rates."""
+        with pytest.raises(ValueError, match="sum"):
+            QueueFault(queue="i_events", drop_probability=0.5, reorder_probability=0.9)
+
+    def test_name_filter_leaves_other_queues_alone(self):
+        system = _StubSystem()
+        QueueFault(queue="o_events", drop_probability=1.0).instrument(system, _rng())
+        queue = system.scheduler.create_queue("i_events")
+        queue.send("kept")
+        assert queue.receive_nowait() == "kept"
+
+
+class TestPriorityInversion:
+    def test_registers_a_top_priority_hog(self):
+        system = _StubSystem()
+        PriorityInversionFault(period_us=ms(50)).instrument(system, _rng())
+        hog = system.scheduler.get_task("fault_inversion_hog")
+        assert hog.is_periodic
+        assert hog.priority > 10
+
+    def test_hog_steals_cpu_windows(self):
+        system = _StubSystem()
+        simulator, scheduler = system.bundle.simulator, system.scheduler
+        PriorityInversionFault(
+            period_us=ms(20), window=JitterModel(ms(10)), offset_us=ms(1)
+        ).instrument(system, _rng())
+        done = []
+
+        def job():
+            yield Compute(ms(5))
+            done.append(simulator.now)
+
+        task = scheduler.create_task("victim", priority=1, job_factory=job)
+        scheduler.start()
+        scheduler.activate(task)
+        simulator.run_until(ms(50))
+        assert done and done[0] > ms(5)  # the clean platform would finish at 5 ms
+
+
+class TestSensorFaults:
+    def test_stuck_level_sensor_freezes_reads(self):
+        system = build_scheme_system(1, seed=3)
+        SensorStuckFault(device="reservoir_sensor", stuck_value=False).instrument(
+            system, _rng()
+        )
+        sensor = system.bundle.hardware.reservoir_sensor
+        sensor.set_physical(True)
+        system.bundle.simulator.run_until(ms(50))
+        assert sensor.read() is False  # latched samples never reach software
+
+    def test_stuck_button_swallows_polled_events(self):
+        system = build_scheme_system(1, seed=3)
+        SensorStuckFault(device="bolus_button").instrument(system, _rng())
+        button = system.bundle.hardware.bolus_button
+        button.trigger(True)
+        button.start()
+        system.bundle.simulator.run_until(ms(50))
+        assert button.poll() == []
+
+    def test_glitch_drops_a_seeded_fraction_of_events(self):
+        system = build_scheme_system(1, seed=3)
+        SensorGlitchFault(device="clear_alarm_button", drop_probability=0.5).instrument(
+            system, _rng()
+        )
+        button = system.bundle.hardware.clear_alarm_button
+        button.start()
+        survived = 0
+        for press in range(40):
+            button.trigger(True)
+            system.bundle.simulator.run_until(ms(20 * (press + 1)))
+            survived += len(button.poll())
+        assert 0 < survived < 40  # some dropped, some through
+
+
+class TestFaultPlan:
+    def test_empty_plan_instrument_is_identity(self):
+        system = build_scheme_system(1, seed=1)
+        before = (
+            system.bundle.simulator.schedule,
+            system.scheduler._advance,
+            system.scheduler.create_queue,
+        )
+        assert FaultPlan().instrument(system, seed=7) is system
+        after = (
+            system.bundle.simulator.schedule,
+            system.scheduler._advance,
+            system.scheduler.create_queue,
+        )
+        assert before == after  # no wrapper hooks were installed
+
+    def test_round_trips_through_dict_and_pickle(self):
+        for plan in default_fault_suite():
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+            assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_dict_valued_any_fields_round_trip_unconverted(self):
+        """Only fields *declared* as JitterModel deserialize as jitter models;
+        an Any-typed field holding a dict must come back as that dict."""
+        fault = SensorStuckFault(device="reservoir_sensor", stuck_value={"level": 1})
+        assert fault_from_dict(fault.to_dict()) == fault
+        empty_dict_value = SensorStuckFault(stuck_value={})
+        assert fault_from_dict(empty_dict_value.to_dict()) == empty_dict_value
+
+    def test_fault_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_from_dict({"kind": "cosmic-ray"})
+
+    def test_describe_names_every_fault(self):
+        for plan in default_fault_suite():
+            description = plan.describe()
+            assert plan.name in description

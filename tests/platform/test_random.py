@@ -27,6 +27,40 @@ class TestRandomSource:
         b = RandomSource(7).fork("child").stream("x")
         assert a.random() == b.random()
 
+    def test_fork_is_independent_of_sibling_forks(self):
+        """A fork's streams depend only on (seed, fork name) — creating other
+        forks or streams first must not perturb them (the fault models rely
+        on this to compose without cross-talk)."""
+        source = RandomSource(7)
+        untouched = [source.fork("faults").stream("x").random() for _ in range(3)]
+        source2 = RandomSource(7)
+        source2.fork("other")          # sibling fork created first
+        source2.stream("exec").random()  # and a consumed sibling stream
+        perturbed = [source2.fork("faults").stream("x").random() for _ in range(3)]
+        assert untouched == perturbed
+
+    def test_fork_differs_from_parent_and_other_forks(self):
+        source = RandomSource(7)
+        parent = source.stream("x").random()
+        child_a = source.fork("a").stream("x").random()
+        child_b = source.fork("b").stream("x").random()
+        assert len({parent, child_a, child_b}) == 3
+
+    def test_streams_are_independent_of_draw_order(self):
+        """Draws on one named stream never affect a differently named one."""
+        source = RandomSource(13)
+        expected = source.stream("b").random()
+        source2 = RandomSource(13)
+        drained = source2.stream("a")
+        for _ in range(100):
+            drained.random()
+        assert source2.stream("b").random() == expected
+
+    def test_nested_forks_are_deterministic(self):
+        a = RandomSource(5).fork("outer").fork("inner").stream("x").random()
+        b = RandomSource(5).fork("outer").fork("inner").stream("x").random()
+        assert a == b
+
 
 class TestJitterModel:
     def test_constant_returns_nominal(self):
@@ -64,6 +98,37 @@ class TestJitterModel:
         scaled = model.scaled(2.0)
         assert scaled.nominal_us == 2000
         assert scaled.plus_us == 200
+
+    def test_scaled_by_zero_is_a_valid_constant_zero(self):
+        scaled = JitterModel(nominal_us=1000, plus_us=300, minus_us=200).scaled(0.0)
+        assert (scaled.nominal_us, scaled.plus_us, scaled.minus_us) == (0, 0, 0)
+        assert scaled.sample() == 0
+        assert scaled.worst_case_us == 0 and scaled.best_case_us == 0
+
+    def test_scaled_below_one_rounds_to_nearest_microsecond(self):
+        model = JitterModel(nominal_us=1001, plus_us=5, minus_us=3)
+        scaled = model.scaled(0.5)
+        # Banker's-free nearest rounding: 500.5 -> 500 (Python round-half-even),
+        # 2.5 -> 2, 1.5 -> 2; the invariants below pin the exact values.
+        assert scaled.nominal_us == round(1001 * 0.5)
+        assert scaled.plus_us == round(5 * 0.5)
+        assert scaled.minus_us == round(3 * 0.5)
+
+    def test_scaled_result_keeps_bounds_non_negative(self):
+        """Scaling must never manufacture negative durations or bounds — the
+        scaled model has to satisfy JitterModel's own constructor invariants."""
+        model = JitterModel(nominal_us=7, plus_us=3, minus_us=9)
+        for factor in (0.0, 0.1, 0.49, 0.5, 1.0, 2.5):
+            scaled = model.scaled(factor)
+            assert scaled.nominal_us >= 0
+            assert scaled.plus_us >= 0
+            assert scaled.minus_us >= 0
+            assert scaled.best_case_us >= 0
+
+    def test_scaled_tiny_factor_collapses_small_bounds_to_zero(self):
+        scaled = JitterModel(nominal_us=1, plus_us=1, minus_us=1).scaled(0.4)
+        assert (scaled.nominal_us, scaled.plus_us, scaled.minus_us) == (0, 0, 0)
+        assert scaled.sample() == 0
 
     def test_negative_nominal_rejected(self):
         with pytest.raises(ValueError):

@@ -135,6 +135,99 @@ class TestPreemption:
         assert high.stats.cpu_time_us == high.stats.completions * ms(5)
 
 
+class TestDeadlineMissAccounting:
+    """Regression: each missed activation is counted exactly once.
+
+    ``deadline_misses`` increments in two code paths — the skipped-release
+    path of ``_release`` (the previous job still runs, so this activation
+    never starts) and the late-completion path of ``_finish_job`` (the job
+    ran but responded after its deadline).  The paths cover *disjoint*
+    activations: a skipped release is an activation that never became a job,
+    a late completion is one that did.  No single activation can traverse
+    both, so no miss is ever double-counted.
+    """
+
+    def test_late_completion_without_skip_counts_one_miss(self):
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(12))  # runs past the 10 ms deadline, within the period
+
+        task = rtos.create_task(
+            "late", priority=1, job_factory=job, period_us=ms(20), deadline_us=ms(10)
+        )
+        rtos.start()
+        sim.run_until(ms(19))  # exactly one activation completes (late)
+        assert task.stats.completions == 1
+        assert task.stats.deadline_misses == 1
+
+    def test_on_time_completion_counts_no_miss(self):
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(3))
+
+        task = rtos.create_task(
+            "fine", priority=1, job_factory=job, period_us=ms(20), deadline_us=ms(10)
+        )
+        rtos.start()
+        sim.run_until(ms(100))
+        assert task.stats.completions >= 4
+        assert task.stats.deadline_misses == 0
+
+    def test_skipped_release_counts_one_miss_when_the_job_meets_its_deadline(self):
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(15))  # overruns the 10 ms period but not the deadline
+
+        task = rtos.create_task(
+            "overrun", priority=1, job_factory=job, period_us=ms(10), deadline_us=ms(20)
+        )
+        rtos.start()
+        sim.run_until(ms(19))  # release at 10 ms skipped; job finishes at 15 ms
+        # The job met its (explicit, longer-than-period) deadline, so the
+        # only miss is the skipped release — counted exactly once.
+        assert task.stats.completions == 1
+        assert task.stats.deadline_misses == 1
+
+    def test_implicit_deadline_defaults_to_the_period(self):
+        """Audit finding: a periodic task without an explicit deadline gets an
+        *implicit* deadline equal to its period (Task.deadline_us default), so
+        an overrunning job produces two legitimate misses — the late
+        activation (completion path) and the skipped release (release path) —
+        one count per missed activation, not a double count of one."""
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(15))
+
+        task = rtos.create_task("overrun", priority=1, job_factory=job, period_us=ms(10))
+        assert task.deadline_us == ms(10)
+        rtos.start()
+        sim.run_until(ms(19))
+        assert task.stats.completions == 1
+        assert task.stats.deadline_misses == 2
+
+    def test_overrun_with_deadline_counts_each_activation_once(self):
+        sim, rtos = make_scheduler()
+
+        def job():
+            yield Compute(ms(15))
+
+        task = rtos.create_task(
+            "both", priority=1, job_factory=job, period_us=ms(10), deadline_us=ms(10)
+        )
+        rtos.start()
+        sim.run_until(ms(19))
+        # Two distinct missed activations: the job released at 0 finished at
+        # 15 ms (late, +1 via the completion path) and the release at 10 ms
+        # was skipped (+1 via the release path).  Exactly one count each —
+        # the late job itself is NOT additionally counted by the skip path.
+        assert task.stats.completions == 1
+        assert task.stats.deadline_misses == 2
+
+
 class TestContextSwitchOverhead:
     def test_overhead_added_on_switch(self):
         sim, rtos = make_scheduler(context_switch_us=500)
