@@ -1,0 +1,143 @@
+"""Benchmark: run-store insert/query throughput and warm-resume speedup.
+
+Measures the three performance claims of the persistence layer and records
+them in ``BENCH_store.json``:
+
+* **insert throughput** — records per second through ``put_records``
+  (batched, one transaction per batch), over synthetic records derived from
+  a real executed campaign so payload sizes are representative;
+* **query throughput** — coordinate lookups per second (``lookup``), the
+  operation incremental campaigns issue once per grid point, plus snapshot
+  reassembly (``load_campaign``) per second;
+* **warm-resume speedup** — the subsystem's reason to exist: a fully stored
+  campaign resumed through :class:`CampaignRunner` must execute **zero**
+  runs (asserted via the worker execution counter) and reassemble a
+  byte-identical aggregate at least 10x faster than cold execution.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.campaign import CampaignRunner, execution_count, table_one_spec
+from repro.store import RunStore
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+SYNTHETIC_RECORDS = 600
+LOOKUP_ROUNDS = 5
+SAMPLES = 4
+MIN_RESUME_SPEEDUP = 10.0
+
+
+def _synthetic_records(base_records, count):
+    """``count`` distinct-coordinate records cloned from real executed ones.
+
+    Varying ``sut_seed`` varies the coordinate (and therefore the store key)
+    without re-executing anything, so insert/query timing measures the store,
+    not the simulator.
+    """
+    clones = []
+    for offset in range(count):
+        source = base_records[offset % len(base_records)]
+        clones.append(
+            replace(source, spec=replace(source.spec, sut_seed=100_000 + offset))
+        )
+    return clones
+
+
+def test_store_throughput_and_resume_speedup(tmp_path, write_artifact):
+    spec = table_one_spec(samples=SAMPLES)
+
+    # --- cold execution, persisting as it goes -------------------------
+    cold_store = RunStore(tmp_path / "runs.db")
+    cold_runner = CampaignRunner(spec, store=cold_store)
+    started = time.perf_counter()
+    cold_result = cold_runner.run()
+    cold_s = time.perf_counter() - started
+    assert cold_runner.executed_count == len(cold_result)
+
+    # --- warm resume: zero executions, byte-identical ------------------
+    executed_before = execution_count()
+    warm_runner = CampaignRunner(spec, store=cold_store, resume=True)
+    started = time.perf_counter()
+    warm_result = warm_runner.run()
+    warm_s = time.perf_counter() - started
+    assert execution_count() == executed_before, "warm resume executed a run"
+    assert warm_runner.executed_count == 0
+    assert warm_result.to_json() == cold_result.to_json(), "resume changed the aggregate"
+    resume_speedup = cold_s / warm_s if warm_s else float("inf")
+    assert resume_speedup >= MIN_RESUME_SPEEDUP, (
+        f"warm resume only {resume_speedup:.1f}x faster than cold execution"
+    )
+
+    # --- insert throughput (synthetic coordinates, real payloads) ------
+    records = _synthetic_records(cold_result.records, SYNTHETIC_RECORDS)
+    insert_store = RunStore(tmp_path / "inserts.db")
+    started = time.perf_counter()
+    insert_store.put_records(records)
+    insert_s = time.perf_counter() - started
+    inserts_per_second = SYNTHETIC_RECORDS / insert_s
+    assert insert_store.counts()["runs"] == SYNTHETIC_RECORDS
+
+    # --- query throughput ----------------------------------------------
+    started = time.perf_counter()
+    for _ in range(LOOKUP_ROUNDS):
+        for record in records:
+            assert insert_store.lookup(record.spec) is not None
+    lookup_s = time.perf_counter() - started
+    lookups_per_second = LOOKUP_ROUNDS * SYNTHETIC_RECORDS / lookup_s
+
+    campaign_id = cold_runner.campaign_id
+    started = time.perf_counter()
+    for _ in range(LOOKUP_ROUNDS):
+        loaded = cold_store.load_campaign(campaign_id)
+    reassembly_s = time.perf_counter() - started
+    assert loaded.to_json() == cold_result.to_json()
+    snapshots_per_second = LOOKUP_ROUNDS / reassembly_s
+
+    insert_store.close()
+    cold_store.close()
+
+    payload = {
+        "samples": SAMPLES,
+        "insert": {
+            "records": SYNTHETIC_RECORDS,
+            "seconds": round(insert_s, 4),
+            "records_per_second": round(inserts_per_second, 1),
+        },
+        "query": {
+            "lookups": LOOKUP_ROUNDS * SYNTHETIC_RECORDS,
+            "seconds": round(lookup_s, 4),
+            "lookups_per_second": round(lookups_per_second, 1),
+            "snapshot_loads_per_second": round(snapshots_per_second, 2),
+        },
+        "resume": {
+            "grid_runs": len(cold_result),
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup": round(resume_speedup, 1),
+            "warm_executions": warm_runner.executed_count,
+            "byte_identical": warm_result.to_json() == cold_result.to_json(),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    write_artifact(
+        "store.txt",
+        "\n".join(
+            [
+                f"insert: {SYNTHETIC_RECORDS} records in {insert_s:.3f} s "
+                f"({inserts_per_second:.0f} records/s)",
+                f"query: {payload['query']['lookups']} lookups in {lookup_s:.3f} s "
+                f"({lookups_per_second:.0f} lookups/s), "
+                f"{snapshots_per_second:.1f} snapshot loads/s",
+                f"resume: cold {cold_s:.3f} s -> warm {warm_s:.4f} s "
+                f"({resume_speedup:.0f}x, {warm_runner.executed_count} executions, "
+                f"byte-identical {payload['resume']['byte_identical']})",
+            ]
+        ),
+    )

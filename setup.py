@@ -12,11 +12,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-layered-timing",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'A Layered Approach for Testing Timing in the "
         "Model-Based Implementation' (DATE 2014): R-/M-testing, three "
-        "implementation schemes and a parallel test-campaign engine"
+        "implementation schemes, a parallel test-campaign engine and a "
+        "persistent result store with incremental campaigns"
     ),
     python_requires=">=3.10",
     package_dir={"": "src"},

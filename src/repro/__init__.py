@@ -25,7 +25,12 @@ The package is organised by layer, mirroring the paper's methodology:
   worker processes with content-keyed artifact caching and bit-reproducible
   aggregation (``repro campaign`` on the command line);
 * :mod:`repro.scenarios` — the scenario DSL and the seeded, coverage-guided
-  scenario generator (``repro explore`` on the command line).
+  scenario generator (``repro explore`` on the command line);
+* :mod:`repro.faults` — platform fault injection and model mutation analysis
+  (``repro faults`` on the command line);
+* :mod:`repro.store` — the persistent, content-addressed result store:
+  incremental (resumable) campaigns, snapshot regression diffs and the
+  ``repro serve`` JSON query API.
 
 ``docs/architecture.md`` draws the layer diagram and collects the design
 notes behind the campaign engine, the trace index and the scenario
@@ -52,9 +57,9 @@ Campaign quickstart (the Table I grid, sharded across four workers)::
     print(result.table_one().render())
 """
 
-from . import analysis, baselines, campaign, codegen, core, gpca, integration, model, platform
+from . import analysis, baselines, campaign, codegen, core, gpca, integration, model, platform, store
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -67,4 +72,5 @@ __all__ = [
     "integration",
     "model",
     "platform",
+    "store",
 ]

@@ -28,8 +28,8 @@ Scenario points either name a stock GPCA scenario or carry a
 grid); see ``docs/architecture.md`` for the engine's design notes.
 """
 
-from .cache import ArtifactCache, chart_fingerprint, process_cache
-from .results import CampaignResult, RunRecord
+from .cache import ArtifactCache, chart_fingerprint, model_fingerprint, process_cache
+from .results import SUMMARY_FIELDS, CampaignResult, RunRecord
 from .runner import CampaignRunner, default_worker_count, run_campaign, shard_grid
 from .spec import (
     CASE_BUILDERS,
@@ -52,11 +52,12 @@ from .spec import (
     scenario_grid_spec,
     table_one_spec,
 )
-from .worker import execute_run, execute_shard
+from .worker import execute_run, execute_shard, execution_count
 
 __all__ = [
     "ArtifactCache",
     "CASE_BUILDERS",
+    "SUMMARY_FIELDS",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
@@ -76,6 +77,8 @@ __all__ = [
     "derive_seed",
     "execute_run",
     "execute_shard",
+    "execution_count",
+    "model_fingerprint",
     "full_grid_spec",
     "interference_sweep_spec",
     "period_sweep_spec",

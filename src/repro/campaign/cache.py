@@ -144,6 +144,32 @@ def chart_fingerprint(chart: Statechart) -> str:
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
 
+#: Model name -> memoised structural fingerprint (building the chart just to
+#: fingerprint it costs far more than the hash itself; store keys ask often).
+_MODEL_FINGERPRINTS: Dict[str, str] = {}
+
+
+def model_fingerprint(model: str) -> str:
+    """The structural fingerprint of a named model's statechart (memoised).
+
+    This is what makes persistent run-store keys *content*-addressed: a store
+    coordinate embeds the fingerprint of the model the run executed, so
+    editing a model silently invalidates every stored result computed from
+    its previous structure.  Stable across processes and interpreter
+    invocations (pinned by ``tests/campaign/test_fingerprint_stability.py``).
+    """
+    cached = _MODEL_FINGERPRINTS.get(model)
+    if cached is None:
+        try:
+            builder = MODEL_BUILDERS[model]
+        except KeyError:
+            known = ", ".join(sorted(MODEL_BUILDERS))
+            raise ValueError(f"unknown model {model!r} (known: {known})") from None
+        cached = chart_fingerprint(builder())
+        _MODEL_FINGERPRINTS[model] = cached
+    return cached
+
+
 class ArtifactCache:
     """Builds statecharts and generates CODE(M) at most once per content key."""
 

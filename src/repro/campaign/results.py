@@ -31,6 +31,22 @@ from .spec import CampaignSpec, RunSpec, case_requirement
 
 RESULT_FORMAT_VERSION = 1
 
+#: The fixed column schema of :meth:`CampaignResult.summary_rows` /
+#: :meth:`CampaignResult.to_csv`.  Declared once so an *empty* campaign CSV
+#: still carries the full header row and downstream store/diff exports can
+#: rely on a stable schema.
+SUMMARY_FIELDS = (
+    "index",
+    "label",
+    "scheme",
+    "case",
+    "samples",
+    "passed",
+    "violations",
+    "timeouts",
+    "max_latency_ms",
+)
+
 
 @dataclass(frozen=True)
 class RunRecord:
@@ -93,6 +109,20 @@ class RunRecord:
             "r": self.r_payload,
             "m": self.m_payload,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output (JSON round-trip safe).
+
+        Wall-clock timing is not part of the canonical payload, so a rebuilt
+        record reports ``elapsed_s == 0.0``; everything that feeds
+        :meth:`to_dict` round-trips byte-identically.
+        """
+        return cls(
+            spec=RunSpec.from_dict(payload["spec"]),
+            r_payload=payload["r"],
+            m_payload=payload.get("m"),
+        )
 
 
 @dataclass
@@ -228,13 +258,45 @@ class CampaignResult:
     def to_json(self, *, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignResult":
+        """Rebuild a campaign aggregate from :meth:`to_dict` output.
+
+        Dispatches on the campaign payload's shape: a grid with explicit
+        ``schemes``/``cases`` axes rebuilds as :class:`CampaignSpec`, a
+        kill-matrix payload (``fault_plans``/``mutants`` axes) rebuilds as
+        :class:`repro.faults.matrix.FaultMatrixSpec` (imported lazily to keep
+        the campaign layer independent of the faults subsystem).  Timing
+        fields are not part of the canonical payload, so the rebuilt result
+        reports zero wall-clock; its :meth:`to_json` is byte-identical to the
+        original's.
+        """
+        campaign = payload["campaign"]
+        if "fault_plans" in campaign:
+            from ..faults.matrix import FaultMatrixSpec
+
+            spec = FaultMatrixSpec.from_dict(campaign)
+        else:
+            spec = CampaignSpec.from_dict(campaign)
+        return cls(
+            spec=spec,
+            records=[RunRecord.from_dict(record) for record in payload.get("runs", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
     def to_csv(self) -> str:
-        """The per-run summary table as CSV."""
-        rows = self.summary_rows()
+        """The per-run summary table as CSV.
+
+        The header always carries the full :data:`SUMMARY_FIELDS` schema —
+        even for an empty campaign — so exports have a fixed shape.
+        """
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()) if rows else [])
+        writer = csv.DictWriter(buffer, fieldnames=list(SUMMARY_FIELDS))
         writer.writeheader()
-        writer.writerows(rows)
+        writer.writerows(self.summary_rows())
         return buffer.getvalue()
 
     def timing_dict(self) -> Dict[str, Any]:

@@ -51,36 +51,79 @@ def shard_grid(runs: Sequence[RunSpec], shards: int) -> List[Tuple[RunSpec, ...]
 
 
 class CampaignRunner:
-    """Executes a campaign spec, serially or across a process pool."""
+    """Executes a campaign spec, serially or across a process pool.
 
-    def __init__(self, spec: CampaignSpec, *, workers: int = 1) -> None:
-        """``workers=0`` means auto-detect: one worker per schedulable CPU."""
+    With a :class:`repro.store.RunStore` attached the runner becomes
+    *incremental*: every fresh record is persisted, and with ``resume=True``
+    it consults the store first and dispatches only the grid points whose
+    coordinates have no stored result.  Reused and fresh records reassemble
+    in grid order, so a resumed campaign's canonical aggregate is
+    byte-identical to a cold one's — the store can never change a verdict,
+    only skip recomputing it.
+    """
+
+    def __init__(self, spec: CampaignSpec, *, workers: int = 1, store=None, resume: bool = False) -> None:
+        """``workers=0`` means auto-detect: one worker per schedulable CPU.
+
+        ``store`` is a :class:`repro.store.RunStore` (duck-typed: anything
+        with ``lookup`` / ``put_records`` / ``save_campaign``); ``resume``
+        additionally reuses stored records instead of re-executing them.
+        """
         if workers < 0:
             raise ValueError("worker count cannot be negative")
+        if resume and store is None:
+            raise ValueError("resume=True needs a store to resume from")
         self.spec = spec
         self.workers = workers if workers > 0 else default_worker_count()
+        self.store = store
+        self.resume = resume
         #: Set after :meth:`run` when a pool failure forced the serial path.
         self.fell_back_to_serial = False
         #: The error message of the pool failure, when one occurred.
         self.fallback_reason: Optional[str] = None
+        #: Grid points actually dispatched on the last :meth:`run`.
+        self.executed_count = 0
+        #: Grid points satisfied from the store on the last :meth:`run`.
+        self.reused_count = 0
+        #: Campaign snapshot id recorded on the last store-backed :meth:`run`.
+        self.campaign_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
-        """Execute every run of the grid and aggregate in grid order."""
+        """Execute every (missing) run of the grid and aggregate in grid order."""
         runs = self.spec.expand()
         started = time.perf_counter()
-        if self.workers <= 1 or len(runs) <= 1:
-            records = execute_shard(runs)
-            workers_used = 1
-        else:
-            records = self._run_sharded(runs)
-            workers_used = 1 if self.fell_back_to_serial else min(self.workers, len(runs))
-        return CampaignResult(
+        reused: List[RunRecord] = []
+        missing: Sequence[RunSpec] = runs
+        if self.resume:
+            missing = []
+            for spec in runs:
+                record = self.store.lookup(spec)
+                if record is None:
+                    missing.append(spec)
+                else:
+                    reused.append(record)
+        fresh: List[RunRecord] = []
+        workers_used = 1
+        if missing:
+            if self.workers <= 1 or len(missing) <= 1:
+                fresh = execute_shard(missing)
+            else:
+                fresh = self._run_sharded(missing)
+                workers_used = 1 if self.fell_back_to_serial else min(self.workers, len(missing))
+        self.executed_count = len(fresh)
+        self.reused_count = len(reused)
+        result = CampaignResult(
             spec=self.spec,
-            records=list(records),
+            records=[*reused, *fresh],
             workers=workers_used,
             wall_seconds=time.perf_counter() - started,
         )
+        if self.store is not None:
+            # save_campaign persists every record (fresh ones included) plus
+            # the snapshot in one pass — no separate put_records needed.
+            self.campaign_id = self.store.save_campaign(result)
+        return result
 
     # ------------------------------------------------------------------
     def _run_sharded(self, runs: Sequence[RunSpec]) -> List[RunRecord]:

@@ -246,6 +246,39 @@ class RunSpec:
             return built
         return build_case(self.case, self.samples, self.case_seed, model=self.model)
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunSpec":
+        """Rebuild a run spec from :meth:`to_dict` output (JSON round-trip safe).
+
+        The faults/mutant coordinates import lazily so the campaign layer
+        keeps its module-level independence from :mod:`repro.faults` (which
+        itself imports the campaign layer).
+        """
+        program = payload.get("program")
+        faults = payload.get("faults")
+        mutant = payload.get("mutant")
+        if faults is not None or mutant is not None:
+            from ..faults.models import FaultPlan
+            from ..faults.mutants import MutantSpec
+
+            faults = None if faults is None else FaultPlan.from_dict(faults)
+            mutant = None if mutant is None else MutantSpec.from_dict(mutant)
+        return cls(
+            index=int(payload["index"]),
+            scheme=int(payload["scheme"]),
+            case=payload["case"],
+            samples=int(payload["samples"]),
+            case_seed=int(payload["case_seed"]),
+            sut_seed=int(payload["sut_seed"]),
+            model=payload.get("model", "fig2"),
+            period_us=payload.get("period_us"),
+            interference_scale=payload.get("interference_scale"),
+            m_test=payload.get("m_test", M_TEST_ALL),
+            program=None if program is None else ScenarioProgram.from_dict(program),
+            faults=faults,
+            mutant=mutant,
+        )
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "index": self.index,
@@ -331,6 +364,42 @@ class CampaignSpec:
                 )
             )
         return tuple(runs)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        """Rebuild a campaign spec from :meth:`to_dict` output.
+
+        ``size`` is derived, so it is ignored on input; everything else —
+        including scenario-DSL programs on the case points — round-trips, and
+        ``spec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()`` holds
+        byte for byte (the persistent run store depends on this).
+        """
+        return cls(
+            name=payload["name"],
+            base_seed=int(payload.get("base_seed", 0)),
+            model=payload.get("model", "fig2"),
+            m_test=payload.get("m_test", M_TEST_ALL),
+            schemes=tuple(
+                SchemePoint(
+                    scheme=int(point["scheme"]),
+                    period_us=point.get("period_us"),
+                    interference_scale=point.get("interference_scale"),
+                    sut_seed=point.get("sut_seed"),
+                )
+                for point in payload["schemes"]
+            ),
+            cases=tuple(
+                CasePoint(
+                    case=point["case"],
+                    samples=int(point["samples"]),
+                    seed=point.get("seed"),
+                    program=None
+                    if point.get("program") is None
+                    else ScenarioProgram.from_dict(point["program"]),
+                )
+                for point in payload["cases"]
+            ),
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -26,6 +26,17 @@ from .cache import process_cache
 from .results import RunRecord
 from .spec import M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec, derive_seed
 
+#: Process-local count of actual run executions.  The store's incremental
+#: tests assert on it: resuming a fully stored campaign must leave it
+#: untouched (zero *new* executions), which is a stronger statement than
+#: "the runner said it reused everything".
+_EXECUTED_RUNS = 0
+
+
+def execution_count() -> int:
+    """How many runs :func:`execute_run` has executed in this process."""
+    return _EXECUTED_RUNS
+
 
 def execute_run(spec: RunSpec) -> RunRecord:
     """Execute one campaign run: R-testing, then the spec's M-testing policy.
@@ -36,6 +47,8 @@ def execute_run(spec: RunSpec) -> RunRecord:
     seed derived from the run's coordinates — both without touching the clean
     path, so a spec with neither remains bit-for-bit the pre-faults run.
     """
+    global _EXECUTED_RUNS
+    _EXECUTED_RUNS += 1
     started = time.perf_counter()
     cache = process_cache()
     if spec.mutant is not None:

@@ -1,6 +1,6 @@
 """Command-line interface for the layered timing-testing framework.
 
-Seven sub-commands cover the everyday workflows on the GPCA case study::
+Nine sub-commands cover the everyday workflows on the GPCA case study::
 
     python -m repro verify    [--extended]
     python -m repro codegen   [--extended] [--output FILE]
@@ -9,11 +9,14 @@ Seven sub-commands cover the everyday workflows on the GPCA case study::
     python -m repro table1    [--samples N] [--output FILE]
     python -m repro campaign  [--grid NAME] [--workers N] [--samples N]
                               [--seed S] [--json FILE] [--csv FILE]
-                              [--baseline FILE]
+                              [--baseline FILE] [--store DB] [--resume]
     python -m repro explore   [--scheme {1,2,3}] [--model NAME]
                               [--episodes N] [--seed S] [--json FILE]
     python -m repro faults    [--samples N] [--workers N] [--seed S]
                               [--model NAME] [--hunt N] [--list] [--json FILE]
+                              [--store DB] [--resume]
+    python -m repro store     {list | runs | diff | export} --db DB ...
+    python -m repro serve     --store DB [--host HOST] [--port PORT]
 
 Every command prints its report to stdout; the optional file arguments
 additionally write machine-readable artefacts (JSON/CSV/C source/text).
@@ -29,6 +32,29 @@ transitions, printing the per-episode log and the final coverage summary.
 (:mod:`repro.faults`): the default seeded fault suite and the generated model
 mutants fanned against the GPCA requirement scenarios, with ``--hunt`` aiming
 the coverage-guided survivor hunter at any mutants the fixed scenarios miss.
+
+Persistence (:mod:`repro.store`): ``--store DB`` on ``campaign``/``faults``
+records every run and a campaign snapshot into a SQLite run store, and
+``--resume`` re-executes only the grid points the store has never seen
+(reassembled aggregates are byte-identical to cold runs).  ``repro store``
+inspects a store — ``list`` (snapshots), ``runs`` (stored runs), ``diff``
+(regression analysis between two snapshots), ``export`` (Table I / CSV from
+a snapshot) — and ``repro serve`` exposes it as a JSON HTTP API with ETag
+caching.  ``repro --version`` prints the installed package version.
+
+Exit codes, shared by every sub-command:
+
+* ``0`` — the command completed; for ``verify``/``rtest`` this additionally
+  means the model/scheme conformed.  Campaign-style commands (``campaign``,
+  ``faults``) return 0 on *completion* — violating schemes and killed
+  mutants are the paper's expected outcome, not an error.
+* ``1`` — the command ran but the verdict was negative (``verify`` found an
+  unmet requirement, ``rtest`` found violations, ``store diff`` found
+  regressions with ``--fail-on-regression``) or a runtime precondition
+  failed (e.g. ``--baseline`` could not get a process pool, an unknown
+  snapshot id).
+* ``2`` — usage error: unknown flag or value rejected by validation
+  (argparse also uses 2 for parse failures).
 """
 
 from __future__ import annotations
@@ -43,6 +69,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import SchemeResult, TableOne, render_sweep
+from .analysis.export import table_one_to_csv, table_one_to_markdown
 from .campaign import PRESETS, CampaignRunner, default_worker_count, preset_spec, process_cache
 from .codegen import generate_code
 from .faults import KillMatrix, SurvivorHunter, default_matrix_spec
@@ -63,6 +90,19 @@ from .gpca import (
 )
 from .model.verification import BoundedResponseChecker
 from .scenarios import CoverageGuidedExplorer
+from .store import ENDPOINTS, RunStore, StoreError, StoreServer, diff_snapshots
+
+
+def package_version() -> str:
+    """The installed distribution's version, falling back to the module's."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro-layered-timing")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 
 def _chart_for(extended: bool):
@@ -157,11 +197,31 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"repro campaign: error: {error}", file=sys.stderr)
         return 2
 
+    if args.resume and not args.store:
+        print("repro campaign: error: --resume needs --store", file=sys.stderr)
+        return 2
+    if args.baseline and args.store:
+        # Baseline mode runs the grid twice for timing; persisting one leg
+        # silently would be misleading — make the user pick one mode.
+        print(
+            "repro campaign: error: --baseline and --store are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.baseline:
         return _campaign_baseline(spec, args)
 
-    runner = CampaignRunner(spec, workers=args.workers)
-    result = runner.run()
+    try:
+        store = None if not args.store else RunStore(args.store)
+    except StoreError as error:
+        print(f"repro campaign: error: {error}", file=sys.stderr)
+        return 1
+    try:
+        runner = CampaignRunner(spec, workers=args.workers, store=store, resume=args.resume)
+        result = runner.run()
+    finally:
+        if store is not None:
+            store.close()
     if runner.fell_back_to_serial:
         print(f"warning: process pool unavailable ({runner.fallback_reason}); ran serially")
     print(result.render_summary())
@@ -169,6 +229,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"wall clock: {result.wall_seconds:.2f} s "
         f"({result.workers} worker{'s' if result.workers != 1 else ''})"
     )
+    if store is not None:
+        reuse = f", {runner.reused_count} reused from store" if args.resume else ""
+        print(
+            f"store: {runner.executed_count} run(s) executed{reuse}; "
+            f"snapshot {runner.campaign_id} saved to {args.store}"
+        )
     if args.grid == "table1":
         print()
         print(result.table_one().render())
@@ -304,13 +370,25 @@ def cmd_faults(args: argparse.Namespace) -> int:
             print(f"  {mutant.mutant_id:<40} {mutant.description}")
         return 0
 
+    if args.resume and not args.store:
+        print("repro faults: error: --resume needs --store", file=sys.stderr)
+        return 2
     print(
         f"kill matrix: {len(spec.fault_plans)} fault plans x {len(spec.mutants)} mutants "
         f"x schemes {spec.baseline_schemes} x {len(spec.cases)} scenarios "
         f"({spec.size} runs, {args.samples} samples each)"
     )
-    runner = CampaignRunner(spec, workers=args.workers)
-    result = runner.run()
+    try:
+        store = None if not args.store else RunStore(args.store)
+    except StoreError as error:
+        print(f"repro faults: error: {error}", file=sys.stderr)
+        return 1
+    try:
+        runner = CampaignRunner(spec, workers=args.workers, store=store, resume=args.resume)
+        result = runner.run()
+    finally:
+        if store is not None:
+            store.close()
     if runner.fell_back_to_serial:
         print(f"warning: process pool unavailable ({runner.fallback_reason}); ran serially")
     matrix = KillMatrix.from_campaign(spec, result)
@@ -319,6 +397,12 @@ def cmd_faults(args: argparse.Namespace) -> int:
         f"wall clock: {result.wall_seconds:.2f} s "
         f"({result.workers} worker{'s' if result.workers != 1 else ''})"
     )
+    if store is not None:
+        reuse = f", {runner.reused_count} reused from store" if args.resume else ""
+        print(
+            f"store: {runner.executed_count} run(s) executed{reuse}; "
+            f"snapshot {runner.campaign_id} saved to {args.store}"
+        )
 
     hunt_report = None
     if args.hunt > 0 and matrix.surviving_mutants():
@@ -351,6 +435,115 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"per-run summary written to {args.csv}")
     # Like `repro campaign`, completion — not conformance — sets the exit
     # code: killed mutants and detected faults are the *expected* outcome.
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect a persistent run store: snapshots, runs, diffs and exports."""
+    try:
+        store = RunStore(args.db)
+    except StoreError as error:
+        print(f"repro store: error: {error}", file=sys.stderr)
+        return 1
+    try:
+        return _store_action(store, args)
+    except StoreError as error:
+        print(f"repro store: error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+
+
+def _store_action(store: RunStore, args: argparse.Namespace) -> int:
+    counts = store.counts()
+    if args.action == "list":
+        rows = store.campaign_rows(name=args.name)
+        print(
+            f"store {args.db}: {counts['runs']} stored run(s), "
+            f"{counts['campaigns']} campaign snapshot(s)"
+        )
+        for row in rows:
+            print(
+                f"  {row['campaign_id']}  {row['name']:<14} {row['size']:>4} runs  "
+                f"{row['created_at']}"
+            )
+        return 0
+
+    if args.action == "runs":
+        rows = store.run_rows(scheme=args.scheme, case=args.case, limit=args.limit)
+        print(f"store {args.db}: {len(rows)} matching run(s) of {counts['runs']}")
+        for row in rows:
+            injected = row["fault_plan"] or row["mutant"] or "-"
+            print(
+                f"  {row['key'][:16]}  scheme{row['scheme']}/{row['case']:<22} "
+                f"{'PASS' if row['passed'] else 'FAIL':>4}  viol={row['violations']:<3} "
+                f"MAX={row['timeouts']:<3} inject={injected}"
+            )
+        return 0
+
+    if args.action == "diff":
+        diff = diff_snapshots(store, args.old, args.new, name=args.name)
+        print(diff.render())
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(diff.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            print(f"diff report written to {args.json}")
+        if args.fail_on_regression and diff.regressions():
+            return 1
+        return 0
+
+    if args.action == "export":
+        campaign_id = store.resolve_campaign_id(args.campaign, name=args.name)
+        result = store.load_campaign(campaign_id)
+        print(f"snapshot {campaign_id}: campaign {result.spec.name!r}, {len(result)} runs")
+        if args.json:
+            Path(args.json).write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
+            print(f"campaign result written to {args.json}")
+        if args.csv:
+            Path(args.csv).write_text(result.to_csv(), encoding="utf-8")
+            print(f"per-run summary written to {args.csv}")
+        if args.table1:
+            table = result.table_one(args.case)
+            text = (
+                table_one_to_markdown(table)
+                if args.table1.endswith(".md")
+                else table.render() + "\n"
+            )
+            Path(args.table1).write_text(text, encoding="utf-8")
+            print(f"Table I written to {args.table1}")
+        if args.table1_csv:
+            Path(args.table1_csv).write_text(
+                table_one_to_csv(result.table_one(args.case)), encoding="utf-8"
+            )
+            print(f"Table I rows written to {args.table1_csv}")
+        return 0
+
+    raise AssertionError(f"unhandled store action {args.action!r}")  # pragma: no cover
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a run store as a JSON HTTP API (``repro serve``)."""
+    try:
+        store = RunStore(args.store)
+    except StoreError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 1
+    server = StoreServer(store, host=args.host, port=args.port, verbose=True)
+    counts = store.counts()
+    print(
+        f"serving {args.store} ({counts['runs']} runs, {counts['campaigns']} snapshots) "
+        f"on {server.url}"
+    )
+    for endpoint, description in sorted(ENDPOINTS.items()):
+        print(f"  GET {endpoint:<16} {description}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive serving
+        print("shutting down")
+    finally:
+        server.shutdown()
+        store.close()
     return 0
 
 
@@ -397,6 +590,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Layered timing testing for model-based implementations (DATE 2014 reproduction).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the installed package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -453,6 +652,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         help="measure serial vs parallel wall-clock (verifying byte-identical "
         "aggregates) and write the timings to this JSON file",
+    )
+    campaign.add_argument(
+        "--store",
+        help="persist every run and a campaign snapshot into this SQLite run store",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: execute only grid points the store has never seen",
     )
     campaign.set_defaults(handler=cmd_campaign)
 
@@ -526,7 +734,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--json", help="write the kill-matrix (and hunt) report as JSON")
     faults.add_argument("--csv", help="write the per-run summary as CSV")
+    faults.add_argument(
+        "--store",
+        help="persist every matrix run and a snapshot into this SQLite run store",
+    )
+    faults.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: execute only matrix points the store has never seen",
+    )
     faults.set_defaults(handler=cmd_faults)
+
+    store = subparsers.add_parser(
+        "store", help="inspect a persistent run store (snapshots, runs, diffs, exports)"
+    )
+    store_actions = store.add_subparsers(dest="action", required=True)
+
+    store_list = store_actions.add_parser("list", help="list stored campaign snapshots")
+    store_list.add_argument("--db", required=True, help="run-store file")
+    store_list.add_argument("--name", help="only snapshots of this campaign name")
+    store_list.set_defaults(handler=cmd_store)
+
+    store_runs = store_actions.add_parser("runs", help="list stored runs")
+    store_runs.add_argument("--db", required=True, help="run-store file")
+    store_runs.add_argument("--scheme", type=int, help="only runs of this scheme")
+    store_runs.add_argument("--case", help="only runs of this scenario")
+    store_runs.add_argument("--limit", type=int, help="at most this many rows (newest first)")
+    store_runs.set_defaults(handler=cmd_store)
+
+    store_diff = store_actions.add_parser(
+        "diff", help="regression diff between two stored snapshots"
+    )
+    store_diff.add_argument("--db", required=True, help="run-store file")
+    store_diff.add_argument("old", help="old snapshot id, or 'latest' / 'prev'")
+    store_diff.add_argument("new", help="new snapshot id, or 'latest' / 'prev'")
+    store_diff.add_argument("--name", help="resolve latest/prev within this campaign name")
+    store_diff.add_argument("--json", help="write the diff report as JSON")
+    store_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when the diff contains regressions (for CI gates)",
+    )
+    store_diff.set_defaults(handler=cmd_store)
+
+    store_export = store_actions.add_parser(
+        "export", help="export a stored snapshot (JSON / CSV / Table I)"
+    )
+    store_export.add_argument("--db", required=True, help="run-store file")
+    store_export.add_argument(
+        "--campaign", default="latest", help="snapshot id, or 'latest' / 'prev' (default: latest)"
+    )
+    store_export.add_argument("--name", help="resolve latest/prev within this campaign name")
+    store_export.add_argument("--case", default="bolus-request", help="Table I scenario")
+    store_export.add_argument("--json", help="write the full campaign aggregate as JSON")
+    store_export.add_argument("--csv", help="write the per-run summary as CSV")
+    store_export.add_argument(
+        "--table1", help="write Table I (Markdown for .md files, plain text otherwise)"
+    )
+    store_export.add_argument("--table1-csv", help="write the structured Table I rows as CSV")
+    store_export.set_defaults(handler=cmd_store)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a run store as a JSON HTTP API (ETag-cached)"
+    )
+    serve.add_argument("--store", required=True, help="run-store file to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8035, help="TCP port (default: 8035; 0 = ephemeral)"
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     return parser
 

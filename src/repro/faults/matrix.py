@@ -163,6 +163,22 @@ class FaultMatrixSpec:
             "mutants": [mutant.to_dict() for mutant in self.mutants],
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultMatrixSpec":
+        """Rebuild a matrix spec from :meth:`to_dict` output (``size`` is derived)."""
+        return cls(
+            name=payload["name"],
+            base_seed=int(payload.get("base_seed", 0)),
+            model=payload.get("model", "fig2"),
+            m_test=payload.get("m_test", M_TEST_NONE),
+            samples=int(payload.get("samples", 4)),
+            cases=tuple(payload.get("cases", ())),
+            fault_schemes=tuple(payload.get("fault_schemes", ())),
+            mutant_schemes=tuple(payload.get("mutant_schemes", ())),
+            fault_plans=tuple(FaultPlan.from_dict(plan) for plan in payload.get("fault_plans", ())),
+            mutants=tuple(MutantSpec.from_dict(mutant) for mutant in payload.get("mutants", ())),
+        )
+
 
 def default_matrix_spec(
     *,

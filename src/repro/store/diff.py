@@ -1,0 +1,298 @@
+"""Regression analysis between two stored campaign snapshots.
+
+:class:`SnapshotDiff` pairs the runs of two campaigns by *semantic
+coordinate* — scheme, configuration overrides, scenario, samples, fault plan
+and mutant, but **not** seeds or model fingerprints — so two snapshots of the
+same grid remain comparable after a model edit or a seed change, which is
+exactly when a regression diff is interesting.  Per paired run it reports:
+
+* **verdict flips** — PASS → FAIL (a regression) or FAIL → PASS (a fix);
+* **new violations** — the violation/timeout count grew without necessarily
+  flipping the aggregate verdict;
+* **drift** — mean R-latency and mean per-segment (input/code/output) delay
+  movement, computed from the stored payloads alone.
+
+Runs present in only one snapshot are listed as added/removed rather than
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..campaign.results import CampaignResult, RunRecord
+
+#: Mean drift below this many microseconds is noise, not a finding.
+DRIFT_THRESHOLD_US = 1.0
+
+
+def semantic_key(record: RunRecord) -> str:
+    """The seed-free pairing coordinate of one run."""
+    spec = record.spec
+    return json.dumps(
+        {
+            "scheme": spec.scheme,
+            "case": spec.case,
+            "samples": spec.samples,
+            "model": spec.model,
+            "period_us": spec.period_us,
+            "interference_scale": spec.interference_scale,
+            "m_test": spec.m_test,
+            "faults": None if spec.faults is None else spec.faults.name,
+            "mutant": None if spec.mutant is None else spec.mutant.mutant_id,
+        },
+        sort_keys=True,
+    )
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def _mean_latency_us(record: RunRecord) -> Optional[float]:
+    latencies = [
+        sample["latency_us"]
+        for sample in record.r_payload.get("samples", [])
+        if sample.get("latency_us") is not None
+    ]
+    return _mean(latencies)
+
+
+def _segment_means_us(record: RunRecord) -> Dict[str, Optional[float]]:
+    segments = (record.m_payload or {}).get("segments", [])
+    means = {}
+    for name in ("input_delay_us", "code_delay_us", "output_delay_us"):
+        means[name.replace("_delay_us", "")] = _mean(
+            [segment[name] for segment in segments if segment.get(name) is not None]
+        )
+    return means
+
+
+def _delta(old: Optional[float], new: Optional[float]) -> Optional[float]:
+    if old is None or new is None:
+        return None
+    return new - old
+
+
+@dataclass(frozen=True)
+class RunDelta:
+    """The comparison of one run coordinate across the two snapshots."""
+
+    label: str
+    scheme: int
+    case: str
+    old_passed: bool
+    new_passed: bool
+    old_violations: int
+    new_violations: int
+    old_timeouts: int
+    new_timeouts: int
+    #: Mean R-latency movement in µs (None when either side lacks latencies).
+    latency_drift_us: Optional[float]
+    #: Mean per-segment delay movement in µs (only segments both sides have).
+    segment_drift_us: Dict[str, float]
+
+    @property
+    def verdict_flipped(self) -> bool:
+        return self.old_passed != self.new_passed
+
+    @property
+    def regressed(self) -> bool:
+        """New snapshot is worse: verdict lost, or more violations/timeouts."""
+        if self.old_passed and not self.new_passed:
+            return True
+        return (
+            self.new_violations > self.old_violations or self.new_timeouts > self.old_timeouts
+        )
+
+    @property
+    def improved(self) -> bool:
+        if not self.old_passed and self.new_passed:
+            return True
+        return (
+            self.new_violations < self.old_violations or self.new_timeouts < self.old_timeouts
+        )
+
+    @property
+    def drifted(self) -> bool:
+        if self.latency_drift_us is not None and abs(self.latency_drift_us) >= DRIFT_THRESHOLD_US:
+            return True
+        return any(abs(delta) >= DRIFT_THRESHOLD_US for delta in self.segment_drift_us.values())
+
+    @property
+    def changed(self) -> bool:
+        return self.verdict_flipped or self.regressed or self.improved or self.drifted
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "scheme": self.scheme,
+            "case": self.case,
+            "old_passed": self.old_passed,
+            "new_passed": self.new_passed,
+            "verdict_flipped": self.verdict_flipped,
+            "regressed": self.regressed,
+            "improved": self.improved,
+            "old_violations": self.old_violations,
+            "new_violations": self.new_violations,
+            "old_timeouts": self.old_timeouts,
+            "new_timeouts": self.new_timeouts,
+            "latency_drift_us": self.latency_drift_us,
+            "segment_drift_us": self.segment_drift_us,
+        }
+
+
+def _pair(record_old: RunRecord, record_new: RunRecord) -> RunDelta:
+    old_segments = _segment_means_us(record_old)
+    new_segments = _segment_means_us(record_new)
+    segment_drift = {}
+    for name in old_segments:
+        delta = _delta(old_segments[name], new_segments[name])
+        if delta is not None:
+            segment_drift[name] = delta
+    return RunDelta(
+        label=record_new.spec.label,
+        scheme=record_new.spec.scheme,
+        case=record_new.spec.case,
+        old_passed=record_old.passed,
+        new_passed=record_new.passed,
+        old_violations=record_old.violation_count,
+        new_violations=record_new.violation_count,
+        old_timeouts=record_old.timeout_count,
+        new_timeouts=record_new.timeout_count,
+        latency_drift_us=_delta(_mean_latency_us(record_old), _mean_latency_us(record_new)),
+        segment_drift_us=segment_drift,
+    )
+
+
+@dataclass
+class SnapshotDiff:
+    """The full regression report between two campaign snapshots."""
+
+    old_id: str
+    new_id: str
+    deltas: List[RunDelta] = field(default_factory=list)
+    #: Labels only the new snapshot has.
+    added: List[str] = field(default_factory=list)
+    #: Labels only the old snapshot has.
+    removed: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def between(
+        cls,
+        old: CampaignResult,
+        new: CampaignResult,
+        *,
+        old_id: str = "old",
+        new_id: str = "new",
+    ) -> "SnapshotDiff":
+        """Pair the two campaigns' runs by semantic coordinate and compare.
+
+        Duplicate coordinates (the same configuration appearing several times
+        in one grid) pair positionally, in grid order.
+        """
+        old_buckets: Dict[str, List[RunRecord]] = {}
+        for record in old.records:
+            old_buckets.setdefault(semantic_key(record), []).append(record)
+
+        diff = cls(old_id=old_id, new_id=new_id)
+        for record in new.records:
+            bucket = old_buckets.get(semantic_key(record))
+            if bucket:
+                diff.deltas.append(_pair(bucket.pop(0), record))
+            else:
+                diff.added.append(record.spec.label)
+        for bucket in old_buckets.values():
+            diff.removed.extend(record.spec.label for record in bucket)
+        return diff
+
+    # ------------------------------------------------------------------
+    def regressions(self) -> List[RunDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    def improvements(self) -> List[RunDelta]:
+        return [delta for delta in self.deltas if delta.improved]
+
+    def changed(self) -> List[RunDelta]:
+        return [delta for delta in self.deltas if delta.changed]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing changed between the snapshots."""
+        return not (self.changed() or self.added or self.removed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "old": self.old_id,
+            "new": self.new_id,
+            "compared": len(self.deltas),
+            "added": self.added,
+            "removed": self.removed,
+            "regressions": [delta.label for delta in self.regressions()],
+            "improvements": [delta.label for delta in self.improvements()],
+            "clean": self.clean,
+            "deltas": [delta.to_dict() for delta in self.changed()],
+        }
+
+    def render(self) -> str:
+        """Plain-text regression report."""
+        lines = [
+            f"snapshot diff: {self.old_id} -> {self.new_id} "
+            f"({len(self.deltas)} paired runs)"
+        ]
+        changed = self.changed()
+        if not changed and not self.added and not self.removed:
+            lines.append("  no changes: verdicts, violation counts and delays all stable")
+            return "\n".join(lines)
+        for delta in changed:
+            flags = []
+            if delta.regressed:
+                flags.append("REGRESSED")
+            elif delta.improved:
+                flags.append("improved")
+            if delta.verdict_flipped:
+                flags.append(
+                    f"verdict {'PASS' if delta.old_passed else 'FAIL'}"
+                    f"->{'PASS' if delta.new_passed else 'FAIL'}"
+                )
+            if delta.new_violations != delta.old_violations:
+                flags.append(f"violations {delta.old_violations}->{delta.new_violations}")
+            if delta.new_timeouts != delta.old_timeouts:
+                flags.append(f"MAX {delta.old_timeouts}->{delta.new_timeouts}")
+            if delta.latency_drift_us is not None and abs(delta.latency_drift_us) >= DRIFT_THRESHOLD_US:
+                flags.append(f"latency {delta.latency_drift_us / 1000:+.3f} ms")
+            for segment, drift in sorted(delta.segment_drift_us.items()):
+                if abs(drift) >= DRIFT_THRESHOLD_US:
+                    flags.append(f"{segment} {drift / 1000:+.3f} ms")
+            lines.append(f"  {delta.label:<44} {', '.join(flags)}")
+        for label in self.added:
+            lines.append(f"  {label:<44} only in {self.new_id}")
+        for label in self.removed:
+            lines.append(f"  {label:<44} only in {self.old_id}")
+        lines.append(
+            f"  summary: {len(self.regressions())} regression(s), "
+            f"{len(self.improvements())} improvement(s), "
+            f"{len(self.added)} added, {len(self.removed)} removed"
+        )
+        return "\n".join(lines)
+
+
+def diff_snapshots(store, old_reference: str, new_reference: str, *, name: Optional[str] = None) -> SnapshotDiff:
+    """Load two snapshots from ``store`` (ids or latest/prev) and diff them."""
+    old_id = store.resolve_campaign_id(old_reference, name=name)
+    new_id = store.resolve_campaign_id(new_reference, name=name)
+    return SnapshotDiff.between(
+        store.load_campaign(old_id), store.load_campaign(new_id), old_id=old_id, new_id=new_id
+    )
+
+
+__all__: Tuple[str, ...] = (
+    "DRIFT_THRESHOLD_US",
+    "RunDelta",
+    "SnapshotDiff",
+    "diff_snapshots",
+    "semantic_key",
+)

@@ -1,0 +1,61 @@
+"""Deterministic, content-addressed coordinates for stored results.
+
+A stored run is keyed by everything that determines its outcome and *nothing*
+that does not:
+
+* the structural **fingerprint** of the model it executed (from
+  :func:`repro.campaign.cache.model_fingerprint`), so editing a statechart
+  silently invalidates every result computed from the old structure;
+* the full run configuration — scheme, period/interference overrides,
+  scenario (name, samples, and the complete DSL program when one backs the
+  run), fault plan, mutant, M-testing policy;
+* every seed (``sut_seed``, ``case_seed``).
+
+The grid ``index`` and the derived ``label`` are deliberately **excluded**:
+they describe a run's *position* in one particular campaign, not its content,
+so the same configuration is shared between campaigns that place it at
+different grid positions.
+
+Keys are SHA-256 over a canonical JSON rendering — stable across processes,
+interpreter invocations, and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+from ..campaign.cache import model_fingerprint
+from ..campaign.spec import RunSpec
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_coordinate(spec: RunSpec) -> Dict[str, Any]:
+    """The index-free, content-addressed coordinate dict of one run spec."""
+    coordinate = spec.to_dict()
+    coordinate.pop("index")
+    coordinate.pop("label")
+    coordinate["model_fingerprint"] = model_fingerprint(spec.model)
+    return coordinate
+
+
+def run_key(spec: RunSpec) -> str:
+    """The store key of one run spec (SHA-256 of its canonical coordinate)."""
+    return hashlib.sha256(_canonical(run_coordinate(spec)).encode("utf-8")).hexdigest()
+
+
+def campaign_key(spec_payload: Dict[str, Any], ordered_run_keys: List[str]) -> str:
+    """The snapshot id of one stored campaign.
+
+    Content-derived — the campaign spec plus the grid-ordered key list the
+    store passes in (record ids, which hash coordinate *and* payload) — so
+    re-saving an identical campaign lands on the same row, a re-run whose
+    results changed gets its own snapshot, and a snapshot id doubles as a
+    cache validator for the serving layer.
+    """
+    payload = {"campaign": spec_payload, "runs": ordered_run_keys}
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()[:24]

@@ -1,0 +1,252 @@
+"""``repro serve`` — a JSON query API over a persistent run store.
+
+A stdlib-only ``ThreadingHTTPServer`` that turns a :class:`RunStore` file
+into cheap-to-poll endpoints::
+
+    GET /               endpoint index
+    GET /healthz        liveness + store counts
+    GET /runs           stored run summaries (?scheme=&case=&model=&limit=)
+    GET /campaigns      stored campaign snapshots
+    GET /campaigns/<id> one snapshot's full canonical payload
+    GET /table1         the paper's Table I from a snapshot (?campaign=&case=)
+    GET /diff           regression diff of two snapshots (?old=&new=&name=)
+
+Every response carries an ``ETag`` derived from the store's state token and
+the request, and ``If-None-Match`` requests answer ``304 Not Modified``
+without recomputing — many dashboards can poll the same endpoints for the
+price of one computation per store change.  Responses are additionally
+memoised per (request, state token), so concurrent cold requests compute a
+payload once and share it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .diff import diff_snapshots
+from .store import RunStore, StoreError
+
+#: Routes listed by the index endpoint.
+ENDPOINTS = {
+    "/healthz": "liveness and store counts",
+    "/runs": "stored run summaries (?scheme=&case=&model=&limit=)",
+    "/campaigns": "stored campaign snapshots",
+    "/campaigns/<id>": "one snapshot's full canonical payload",
+    "/table1": "Table I from a snapshot (?campaign=<id|latest|prev>&case=)",
+    "/diff": "regression diff between snapshots (?old=&new=&name=)",
+}
+
+
+class _BadRequest(Exception):
+    """A malformed query (rendered as HTTP 400)."""
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Routes GET requests into the attached :class:`RunStore`."""
+
+    server_version = "repro-store/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover - manual serving
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        parsed = urlparse(self.path)
+        query = {name: values[-1] for name, values in parse_qs(parsed.query).items()}
+        status, body, etag = self.server.respond(parsed.path, query)
+        if status == 200 and self.headers.get("If-None-Match") == etag:
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class StoreHTTPServer(ThreadingHTTPServer):
+    """The threading HTTP server bound to one run store."""
+
+    daemon_threads = True
+
+    #: Hard bound on cached responses; query strings are client-controlled,
+    #: so the cache must not grow with the number of distinct URLs seen.
+    MAX_CACHED_RESPONSES = 256
+
+    def __init__(self, store: RunStore, address: Tuple[str, int], *, verbose: bool = False) -> None:
+        super().__init__(address, StoreRequestHandler)
+        self.store = store
+        self.verbose = verbose
+        self._cache_lock = threading.Lock()
+        #: normalized (path, sorted query) -> (state token, body, etag).
+        self._response_cache: Dict[str, Tuple[str, bytes, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Response construction (cached per store state)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(payload: Dict[str, Any]) -> Tuple[bytes, str]:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        etag = '"' + hashlib.sha256(body).hexdigest()[:32] + '"'
+        return body, etag
+
+    def respond(self, path: str, query: Dict[str, str]) -> Tuple[int, bytes, str]:
+        """The (status, encoded body, ETag) for one request, memoised.
+
+        Successful responses are cached under the normalized request and the
+        store's current state token; a cache hit returns the already-encoded
+        bytes.  Error responses are computed fresh (they are cheap and should
+        not occupy cache slots).
+        """
+        token = self.store.state_token()
+        cache_key = path + "?" + json.dumps(query, sort_keys=True)
+        with self._cache_lock:
+            cached = self._response_cache.get(cache_key)
+            if cached is not None and cached[0] == token:
+                return 200, cached[1], cached[2]
+        try:
+            payload = self._route(path, query)
+        except _BadRequest as error:
+            body, etag = self._encode({"error": str(error)})
+            return 400, body, etag
+        except (StoreError, LookupError) as error:
+            body, etag = self._encode({"error": str(error)})
+            return 404, body, etag
+        body, etag = self._encode(payload)
+        with self._cache_lock:
+            if len(self._response_cache) >= self.MAX_CACHED_RESPONSES:
+                stale = [
+                    key for key, entry in self._response_cache.items() if entry[0] != token
+                ]
+                for key in stale:
+                    del self._response_cache[key]
+                while len(self._response_cache) >= self.MAX_CACHED_RESPONSES:
+                    # Still full of current-token entries: drop the oldest.
+                    self._response_cache.pop(next(iter(self._response_cache)))
+            self._response_cache[cache_key] = (token, body, etag)
+        return 200, body, etag
+
+    # ------------------------------------------------------------------
+    def _route(self, path: str, query: Dict[str, str]) -> Dict[str, Any]:
+        if path in ("", "/"):
+            return {"service": "repro store", "endpoints": ENDPOINTS}
+        if path == "/healthz":
+            return {"status": "ok", "counts": self.store.counts()}
+        if path == "/runs":
+            return self._runs(query)
+        if path == "/campaigns":
+            return {"campaigns": self.store.campaign_rows(name=query.get("name"))}
+        if path.startswith("/campaigns/"):
+            campaign_id = path[len("/campaigns/"):]
+            result = self.store.load_campaign(campaign_id)
+            return {"campaign_id": campaign_id, "result": result.to_dict()}
+        if path == "/table1":
+            return self._table1(query)
+        if path == "/diff":
+            return self._diff(query)
+        raise StoreError(f"unknown endpoint {path!r} (see / for the index)")
+
+    def _runs(self, query: Dict[str, str]) -> Dict[str, Any]:
+        scheme: Optional[int] = None
+        limit: Optional[int] = None
+        try:
+            if "scheme" in query:
+                scheme = int(query["scheme"])
+            if "limit" in query:
+                limit = int(query["limit"])
+        except ValueError as error:
+            raise _BadRequest(f"bad integer parameter: {error}") from None
+        rows = self.store.run_rows(
+            scheme=scheme, case=query.get("case"), model=query.get("model"), limit=limit
+        )
+        return {"count": len(rows), "runs": rows}
+
+    def _table1(self, query: Dict[str, str]) -> Dict[str, Any]:
+        campaign_id = self.store.resolve_campaign_id(
+            query.get("campaign", "latest"), name=query.get("name")
+        )
+        result = self.store.load_campaign(campaign_id)
+        case = query.get("case", "bolus-request")
+        table = result.table_one(case)
+        return {
+            "campaign_id": campaign_id,
+            "case": case,
+            "schemes": table.summary_rows(),
+            "rows": table.rows(),
+            "render": table.render(),
+        }
+
+    def _diff(self, query: Dict[str, str]) -> Dict[str, Any]:
+        if "old" not in query or "new" not in query:
+            raise _BadRequest("diff needs ?old=<id|latest|prev>&new=<id|latest|prev>")
+        diff = diff_snapshots(self.store, query["old"], query["new"], name=query.get("name"))
+        payload = diff.to_dict()
+        payload["render"] = diff.render()
+        return payload
+
+
+class StoreServer:
+    """Lifecycle wrapper: serve a store file on a background thread.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port` after
+    construction) — the test suite and the examples use that to avoid
+    clashing with anything else on the machine.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.store = store
+        self._server = StoreHTTPServer(store, (host, port), verbose=verbose)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StoreServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:  # pragma: no cover - interactive serving
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "StoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,127 @@
+"""The ``repro serve`` JSON API: routes, ETag caching, concurrency."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.store import StoreServer
+
+
+@pytest.fixture
+def server(seeded_store):
+    with StoreServer(seeded_store) as running:
+        yield running
+
+
+def _get(server: StoreServer, path: str, headers=None):
+    request = urllib.request.Request(server.url + path, headers=headers or {})
+    with urllib.request.urlopen(request) as response:
+        return response.status, response.headers, json.loads(response.read())
+
+
+def test_index_lists_endpoints(server):
+    status, _, payload = _get(server, "/")
+    assert status == 200
+    assert "/table1" in payload["endpoints"]
+
+
+def test_healthz_reports_counts(server):
+    status, _, payload = _get(server, "/healthz")
+    assert status == 200
+    assert payload == {"status": "ok", "counts": {"runs": 3, "campaigns": 1}}
+
+
+def test_runs_endpoint_lists_and_filters(server):
+    _, _, payload = _get(server, "/runs")
+    assert payload["count"] == 3
+    _, _, filtered = _get(server, "/runs?scheme=2&limit=5")
+    assert filtered["count"] == 1
+    assert filtered["runs"][0]["scheme"] == 2
+
+
+def test_campaign_endpoints_round_trip(server, seeded_store, table1_result):
+    _, _, listing = _get(server, "/campaigns")
+    (row,) = listing["campaigns"]
+    assert row["name"] == "table1"
+
+    _, _, payload = _get(server, f"/campaigns/{row['campaign_id']}")
+    canonical = json.dumps(payload["result"], sort_keys=True)
+    assert canonical == table1_result.to_json()
+
+
+def test_table1_endpoint_answers_correctly(server):
+    status, _, payload = _get(server, "/table1")
+    assert status == 200
+    assert payload["case"] == "bolus-request"
+    assert len(payload["schemes"]) == 3
+    verdicts = {row["scheme"]: row["passed"] for row in payload["schemes"]}
+    assert verdicts == {1: False, 2: True, 3: False}
+    assert "TABLE I." in payload["render"]
+
+
+def test_diff_endpoint_compares_snapshots(server):
+    status, _, payload = _get(server, "/diff?old=latest&new=latest")
+    assert status == 200
+    assert payload["clean"] is True
+    assert payload["compared"] == 3
+
+
+def test_etag_roundtrip_yields_304(server):
+    status, headers, _ = _get(server, "/table1")
+    etag = headers["ETag"]
+    assert status == 200 and etag
+
+    request = urllib.request.Request(
+        server.url + "/table1", headers={"If-None-Match": etag}
+    )
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request)
+    assert info.value.code == 304
+
+
+def test_unknown_endpoint_is_404_json(server):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(server.url + "/nope")
+    assert info.value.code == 404
+    assert "unknown endpoint" in json.loads(info.value.read())["error"]
+
+
+def test_bad_query_is_400(server):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(server.url + "/runs?scheme=abc")
+    assert info.value.code == 400
+
+
+def test_diff_without_parameters_is_400(server):
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(server.url + "/diff")
+    assert info.value.code == 400
+
+
+def test_table1_under_50_concurrent_requests(server):
+    """The acceptance criterion: ≥ 50 concurrent clients, one correct answer."""
+
+    def fetch(_index: int):
+        with urllib.request.urlopen(server.url + "/table1") as response:
+            return response.status, response.headers["ETag"], response.read()
+
+    with ThreadPoolExecutor(max_workers=50) as pool:
+        outcomes = list(pool.map(fetch, range(50)))
+
+    statuses = {status for status, _, _ in outcomes}
+    etags = {etag for _, etag, _ in outcomes}
+    bodies = {body for _, _, body in outcomes}
+    assert statuses == {200}
+    assert len(etags) == 1, "ETags diverged across concurrent responses"
+    assert len(bodies) == 1, "bodies diverged across concurrent responses"
+    payload = json.loads(bodies.pop())
+    assert {row["scheme"]: row["passed"] for row in payload["schemes"]} == {
+        1: False,
+        2: True,
+        3: False,
+    }
