@@ -57,6 +57,9 @@ class RunRecord:
     m_payload: Optional[Dict[str, Any]] = None
     #: Worker-side wall-clock of this run; excluded from the canonical dict.
     elapsed_s: float = 0.0
+    #: Backend resolution of this run (requested/effective/reason); ``None``
+    #: for default-backend runs, so pre-backend payloads are unchanged.
+    backend_payload: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Reconstruction of the report objects the analysis layer consumes
@@ -104,11 +107,14 @@ class RunRecord:
 
     def to_dict(self) -> Dict[str, Any]:
         """The canonical (deterministic) rendering of this record."""
-        return {
+        payload: Dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "r": self.r_payload,
             "m": self.m_payload,
         }
+        if self.backend_payload is not None:
+            payload["backend"] = self.backend_payload
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
@@ -122,6 +128,7 @@ class RunRecord:
             spec=RunSpec.from_dict(payload["spec"]),
             r_payload=payload["r"],
             m_payload=payload.get("m"),
+            backend_payload=payload.get("backend"),
         )
 
 

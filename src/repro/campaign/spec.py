@@ -44,6 +44,14 @@ M_TEST_VIOLATIONS = "violations"
 M_TEST_NONE = "none"
 M_TEST_POLICIES = (M_TEST_ALL, M_TEST_VIOLATIONS, M_TEST_NONE)
 
+#: SUT backends a campaign can request per run.  "python" is the default
+#: interpreter-executed CODE(M); "c" compiles and executes the emitted C
+#: (degrading gracefully to python when no compiler is available — the
+#: degradation is recorded in the run record, see repro.codegen.c_backend).
+BACKEND_PYTHON = "python"
+BACKEND_C = "c"
+KNOWN_BACKENDS = (BACKEND_PYTHON, BACKEND_C)
+
 #: Models the grid can target — derived from the artifact cache's builder
 #: registry so spec validation and worker resolution share one source of truth.
 KNOWN_MODELS = tuple(sorted(MODEL_BUILDERS))
@@ -226,6 +234,8 @@ class RunSpec:
     faults: Optional["FaultPlan"] = None
     #: Model mutation applied before code generation (original model when None).
     mutant: Optional["MutantSpec"] = None
+    #: SUT backend executing CODE(M) ("python" or "c").
+    backend: str = BACKEND_PYTHON
 
     @property
     def label(self) -> str:
@@ -277,10 +287,11 @@ class RunSpec:
             program=None if program is None else ScenarioProgram.from_dict(program),
             faults=faults,
             mutant=mutant,
+            backend=payload.get("backend", BACKEND_PYTHON),
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "index": self.index,
             "label": self.label,
             "scheme": self.scheme,
@@ -296,6 +307,11 @@ class RunSpec:
             "faults": None if self.faults is None else self.faults.to_dict(),
             "mutant": None if self.mutant is None else self.mutant.to_dict(),
         }
+        # The default backend is omitted so pre-backend serialized specs (and
+        # the store keys derived from them) stay byte-identical.
+        if self.backend != BACKEND_PYTHON:
+            payload["backend"] = self.backend
+        return payload
 
 
 @dataclass(frozen=True)
@@ -308,6 +324,7 @@ class CampaignSpec:
     base_seed: int = 0
     model: str = "fig2"
     m_test: str = M_TEST_ALL
+    backend: str = BACKEND_PYTHON
 
     def __post_init__(self) -> None:
         if not self.schemes:
@@ -318,6 +335,8 @@ class CampaignSpec:
             raise ValueError(f"unknown model {self.model!r} (known: {KNOWN_MODELS})")
         if self.m_test not in M_TEST_POLICIES:
             raise ValueError(f"unknown m_test policy {self.m_test!r} (known: {M_TEST_POLICIES})")
+        if self.backend not in KNOWN_BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r} (known: {KNOWN_BACKENDS})")
 
     @property
     def size(self) -> int:
@@ -361,6 +380,7 @@ class CampaignSpec:
                     interference_scale=scheme_point.interference_scale,
                     m_test=self.m_test,
                     program=case_point.program,
+                    backend=self.backend,
                 )
             )
         return tuple(runs)
@@ -379,6 +399,7 @@ class CampaignSpec:
             base_seed=int(payload.get("base_seed", 0)),
             model=payload.get("model", "fig2"),
             m_test=payload.get("m_test", M_TEST_ALL),
+            backend=payload.get("backend", BACKEND_PYTHON),
             schemes=tuple(
                 SchemePoint(
                     scheme=int(point["scheme"]),
@@ -402,7 +423,7 @@ class CampaignSpec:
         )
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "base_seed": self.base_seed,
             "model": self.model,
@@ -427,6 +448,9 @@ class CampaignSpec:
                 for point in self.cases
             ],
         }
+        if self.backend != BACKEND_PYTHON:
+            payload["backend"] = self.backend
+        return payload
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,8 @@ from __future__ import annotations
 import time
 from typing import List, Sequence
 
+from ..codegen.c_backend import resolve_backend
+from ..core.instrumentation import ProbeConfiguration
 from ..core.m_testing import MTestAnalyzer
 from ..core.r_testing import execute_r_test
 from ..core.serialization import m_report_to_dict, r_report_to_dict
@@ -24,7 +26,7 @@ from ..gpca.interface import build_pump_interface
 from ..gpca.pump import build_scheme_system
 from .cache import process_cache
 from .results import RunRecord
-from .spec import M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec, derive_seed
+from .spec import BACKEND_PYTHON, M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec, derive_seed
 
 #: Process-local count of actual run executions.  The store's incremental
 #: tests assert on it: resuming a fully stored campaign must leave it
@@ -57,6 +59,18 @@ def execute_run(spec: RunSpec) -> RunRecord:
         artifacts = cache.artifacts_for_model(spec.model)
     test_case = spec.test_case()
 
+    # Resolve the SUT backend once per run; the compiled library is cached per
+    # chart per process, so repeated runs reuse one compile.  Degradation
+    # (e.g. no C compiler) falls back to the Python executor and is recorded
+    # in the run record.
+    resolution = resolve_backend(spec.backend, artifacts)
+
+    # Runs that skip M-testing only need the R-level (M/C) trace events;
+    # recording the i/o/transition probe events costs hot-loop time without
+    # affecting the R verdicts (probes never touch M/C events or the RNG), so
+    # they are gated off.  M-testing runs keep the full M-level probes.
+    probes = ProbeConfiguration.r_level() if spec.m_test == M_TEST_NONE else None
+
     def factory():
         system = build_scheme_system(
             spec.scheme,
@@ -65,6 +79,8 @@ def execute_run(spec: RunSpec) -> RunRecord:
             period_us=spec.period_us,
             interference_scale=spec.interference_scale,
             artifacts=artifacts,
+            probes=probes,
+            code_factory=resolution.code_factory,
         )
         if spec.faults is not None and not spec.faults.empty:
             spec.faults.instrument(
@@ -88,6 +104,9 @@ def execute_run(spec: RunSpec) -> RunRecord:
         r_payload=r_report_to_dict(r_report),
         m_payload=m_payload,
         elapsed_s=time.perf_counter() - started,
+        backend_payload=(
+            None if spec.backend == BACKEND_PYTHON else resolution.to_payload()
+        ),
     )
 
 

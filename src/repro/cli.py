@@ -60,6 +60,7 @@ Exit codes, shared by every sub-command:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import platform as platform_module
@@ -193,6 +194,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     try:
         spec = preset_spec(args.grid, samples=args.samples, seed=args.seed)
+        if args.backend != "python":
+            spec = dataclasses.replace(spec, backend=args.backend)
     except ValueError as error:
         print(f"repro campaign: error: {error}", file=sys.stderr)
         return 2
@@ -645,6 +648,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--seed", type=int, default=None, help="campaign seed (default: grid-specific)"
+    )
+    campaign.add_argument(
+        "--backend",
+        choices=("python", "c"),
+        default="python",
+        help="CODE(M) executor: the Python runtime or the compiled emitted C "
+        "(falls back to python, with the reason recorded per run, when no C "
+        "compiler is available)",
     )
     campaign.add_argument("--json", help="write the full campaign aggregate as JSON")
     campaign.add_argument("--csv", help="write the per-run summary as CSV")

@@ -143,7 +143,13 @@ class GeneratedCode:
         if row.trigger_kind == "event":
             self.inputs[row.trigger_param] = False
         writes: List[OutputWrite] = []
-        context = self._guard_context()
+        # The context snapshot only exists for computed action values; literal
+        # actions (the common case in generated tables) skip the dict builds.
+        context = (
+            self._guard_context()
+            if any(callable(action.value) for action in row.actions)
+            else None
+        )
         for action in row.actions:
             value = action.value(dict(context)) if callable(action.value) else action.value
             if action.is_output:

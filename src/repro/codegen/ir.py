@@ -68,9 +68,33 @@ class CodeModel:
     local_initials: Dict[str, Any]
     transitions: List[TransitionIR] = field(default_factory=list)
 
+    # transitions_from cache.  Deliberately plain class attributes (no
+    # annotations), so they are not dataclass fields and equality/repr
+    # semantics stay unchanged; rebuilt whenever the row count changes
+    # (lowering appends rows before the first lookup).
+    _rows_by_state = None
+    _rows_cached_count = -1
+
     def transitions_from(self, state_index: int) -> List[TransitionIR]:
-        rows = [row for row in self.transitions if row.source_index == state_index]
-        return sorted(rows, key=lambda row: row.priority)
+        """Rows out of ``state_index`` in descending evaluation priority.
+
+        Called once per CODE(M) invocation in the execution hot loop, so the
+        grouped-and-sorted rows are cached.  Callers must treat the returned
+        list as read-only.
+        """
+        count = len(self.transitions)
+        cache = self._rows_by_state
+        if cache is None or self._rows_cached_count != count:
+            cache = {}
+            for row in self.transitions:
+                cache.setdefault(row.source_index, []).append(row)
+            for rows in cache.values():
+                # Stable sort: equal priorities keep table order, matching the
+                # previous per-call filter+sort exactly.
+                rows.sort(key=lambda row: row.priority)
+            self._rows_by_state = cache
+            self._rows_cached_count = count
+        return cache.get(state_index, [])
 
     def state_index(self, name: str) -> int:
         try:

@@ -17,19 +17,29 @@ Every observation of a value change at one of these boundaries is an
 R-testing consumes only M and C events; M-testing additionally consumes I, O
 and transition start/end events.
 
-Trace index design
-------------------
+Trace storage and index design
+------------------------------
 
-A trace is append-only and time-ordered, and every analysis pass (response
-matching, delay segmentation, coverage, export) asks the same three question
-shapes many times per sample:
+A trace is append-only and time-ordered.  Recording happens inside the
+simulation hot loop (thousands of events per run), while analysis asks the
+same three question shapes many times per sample:
 
 * "all events of kind K / variable V (in a time window)" — :meth:`Trace.select`;
 * "the first such event at or after t" — :meth:`Trace.first`;
 * "all events of any of these kinds, in trace order" — :meth:`Trace.select_kinds`.
 
-Answering those with a linear scan makes analysis O(samples × trace length).
-Instead, :class:`Trace` maintains three secondary indexes — by ``(kind,
+Storage is **columnar**: parallel lists of kinds, variables, values,
+timestamps and metadata, plus a parallel cache of materialised
+:class:`Event` objects.  The recording fast path
+(:meth:`Trace._append_raw`, used by :class:`TraceRecorder`) appends one
+element to each column and *never constructs an Event object*; events are
+materialised lazily — and cached positionally, so repeated queries return
+the identical object — only when a query or iteration actually touches
+them.  :meth:`Trace.append` / :meth:`Trace.extend` still accept ready-made
+events (their objects are stored directly in the cache), so both entry
+points yield byte-identical query results.
+
+Query answering keeps the secondary indexes introduced earlier: by ``(kind,
 variable)``, by ``kind`` and by ``variable`` — each a :class:`_IndexBucket`
 holding the trace *positions* of its events plus a parallel, non-decreasing
 timestamp list.  A query picks the most specific bucket for its filters,
@@ -40,16 +50,17 @@ exact trace order (including ties), so indexed queries return byte-identical
 results to a linear scan.  Multi-kind queries merge the per-kind buckets by
 position.
 
-The indexes are built *lazily*: appending only checks time order and extends
-the event/timestamp arrays (so recording a trace during simulation pays
-nothing for the indexes), and the first query indexes the unindexed tail in
-one pass.  Batch construction paths — :meth:`Trace.extend` for validated
-batches and the trusted :meth:`Trace.from_sorted` used by
-:meth:`Trace.restricted_to` — therefore never re-validate or re-index
-event-by-event.
+The indexes are built *lazily* from the columns directly (no event
+materialisation): appending only checks time order and extends the columns,
+and the first query indexes the unindexed tail in one pass.  Batch
+construction paths — :meth:`Trace.extend` for validated batches and the
+trusted :meth:`Trace.from_sorted` used by :meth:`Trace.restricted_to` —
+therefore never re-validate or re-index event-by-event.
 
-``docs/architecture.md`` ("The trace index") places this design in the
-context of the whole stack and records the measured speedups.
+``docs/architecture.md`` ("The trace index" and "The runtime engine") places
+this design in the context of the whole stack and records the measured
+speedups.  The pre-columnar implementation is preserved verbatim in
+``repro._reference.seed_engine`` as the byte-identity oracle.
 """
 
 from __future__ import annotations
@@ -58,7 +69,7 @@ import enum
 import heapq
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 
 class VariableKind(enum.Enum):
@@ -302,19 +313,30 @@ class _IndexBucket:
 
 _EMPTY_BUCKET = _IndexBucket()
 
+#: Shared metadata for raw-path events recorded without any meta kwargs.
+#: Events never mutate their meta mapping, so one empty dict can back all of
+#: them (materialised events compare equal to seed-path events, whose
+#: ``dict(meta)`` of no kwargs is also ``{}``).
+_EMPTY_META: Dict[str, Any] = {}
+
 
 class Trace:
-    """An append-only, time-ordered sequence of :class:`Event` objects.
+    """An append-only, time-ordered, columnar sequence of :class:`Event` objects.
 
-    Events are indexed on append by ``(kind, variable)``, by ``kind`` and by
-    ``variable`` (see the module docstring), so :meth:`select`, :meth:`first`
-    and :meth:`select_kinds` run in O(log n + matches) rather than scanning
-    the whole trace.
+    Events are stored as parallel columns and materialised lazily (see the
+    module docstring); they are indexed on first query by ``(kind, variable)``,
+    by ``kind`` and by ``variable``, so :meth:`select`, :meth:`first` and
+    :meth:`select_kinds` run in O(log n + matches) rather than scanning the
+    whole trace.
     """
 
     __slots__ = (
-        "_events",
+        "_kinds",
+        "_variables",
+        "_values",
         "_timestamps",
+        "_metas",
+        "_cache",
         "_by_kind",
         "_by_variable",
         "_by_kind_variable",
@@ -323,8 +345,13 @@ class Trace:
     )
 
     def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
-        self._events: List[Event] = []
+        self._kinds: List[EventKind] = []
+        self._variables: List[str] = []
+        self._values: List[Any] = []
         self._timestamps: List[int] = []
+        self._metas: List[Mapping[str, Any]] = []
+        #: Materialised events, parallel to the columns (None = not yet built).
+        self._cache: List[Optional[Event]] = []
         self._by_kind: Dict[EventKind, _IndexBucket] = {}
         self._by_variable: Dict[str, _IndexBucket] = {}
         self._by_kind_variable: Dict[Tuple[EventKind, str], _IndexBucket] = {}
@@ -338,18 +365,57 @@ class Trace:
         """Build a trace from events already known to be in timestamp order.
 
         This is the cheap builder path for trusted sources (another trace, a
-        recorder draining in clock order): the event and timestamp arrays are
-        bulk-built without re-validating order event-by-event, and the indexes
-        are left for the first query to build lazily.
+        recorder draining in clock order): the columns are bulk-built without
+        re-validating order event-by-event, and the indexes are left for the
+        first query to build lazily.  The given event objects are kept in the
+        materialisation cache, so queries return them identically.
         """
         trace = cls()
-        trace._events = list(events)
-        trace._timestamps = [event.timestamp_us for event in trace._events]
+        cache = list(events)
+        trace._cache = cache
+        trace._kinds = [event.kind for event in cache]
+        trace._variables = [event.variable for event in cache]
+        trace._values = [event.value for event in cache]
+        trace._timestamps = [event.timestamp_us for event in cache]
+        trace._metas = [event.meta for event in cache]
         return trace
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _append_raw(
+        self,
+        kind: EventKind,
+        variable: str,
+        value: Any,
+        timestamp_us: int,
+        meta: Optional[Dict[str, Any]],
+    ) -> None:
+        """Record one observation without materialising an :class:`Event`.
+
+        This is the recording fast path (used by :class:`TraceRecorder`): it
+        performs exactly the validation the object path performs — monotone
+        timestamps, non-negative first timestamp — and appends one element per
+        column.  ``meta`` is stored as given (callers pass a fresh dict or
+        ``None`` for no metadata).
+        """
+        timestamps = self._timestamps
+        if timestamps:
+            if timestamp_us < timestamps[-1]:
+                raise ValueError(
+                    "events must be appended in non-decreasing timestamp order: "
+                    f"{timestamp_us} < {timestamps[-1]}"
+                )
+        elif timestamp_us < 0:
+            raise ValueError("event timestamp must be non-negative")
+        self._kinds.append(kind)
+        self._variables.append(variable)
+        self._values.append(value)
+        timestamps.append(timestamp_us)
+        self._metas.append(_EMPTY_META if meta is None else meta)
+        self._cache.append(None)
+        self._events_view = None
+
     def append(self, event: Event) -> None:
         timestamps = self._timestamps
         if timestamps and event.timestamp_us < timestamps[-1]:
@@ -357,15 +423,23 @@ class Trace:
                 "events must be appended in non-decreasing timestamp order: "
                 f"{event.timestamp_us} < {timestamps[-1]}"
             )
-        self._events.append(event)
+        self._kinds.append(event.kind)
+        self._variables.append(event.variable)
+        self._values.append(event.value)
         timestamps.append(event.timestamp_us)
+        self._metas.append(event.meta)
+        self._cache.append(event)
         self._events_view = None
 
     def extend(self, events: Iterable[Event]) -> None:
         """Append a batch of events, validating order in one cheap pass."""
-        own_events = self._events
         timestamps = self._timestamps
         last = timestamps[-1] if timestamps else None
+        kinds = self._kinds
+        variables = self._variables
+        values = self._values
+        metas = self._metas
+        cache = self._cache
         for event in events:
             if last is not None and event.timestamp_us < last:
                 raise ValueError(
@@ -373,25 +447,53 @@ class Trace:
                     f"{event.timestamp_us} < {last}"
                 )
             last = event.timestamp_us
-            own_events.append(event)
+            kinds.append(event.kind)
+            variables.append(event.variable)
+            values.append(event.value)
             timestamps.append(last)
+            metas.append(event.meta)
+            cache.append(event)
         self._events_view = None
 
+    def _event_at(self, position: int) -> Event:
+        """Materialise (and cache) the event at ``position``.
+
+        Works for negative positions too: Python's negative list indexing
+        resolves reads and the cache write-back to the same slot.
+        """
+        cache = self._cache
+        event = cache[position]
+        if event is None:
+            event = Event(
+                self._kinds[position],
+                self._variables[position],
+                self._values[position],
+                self._timestamps[position],
+                self._metas[position],
+            )
+            cache[position] = event
+        return event
+
     def _ensure_index(self) -> None:
-        """Index the not-yet-indexed tail of the trace (amortised O(1) per event)."""
-        events = self._events
+        """Index the not-yet-indexed tail of the trace (amortised O(1) per event).
+
+        Operates on the columns directly, so building the index never
+        materialises events.
+        """
         upto = self._indexed_upto
-        count = len(events)
+        count = len(self._timestamps)
         if upto == count:
             return
+        kinds = self._kinds
+        variables = self._variables
+        timestamps = self._timestamps
         by_kind = self._by_kind
         by_variable = self._by_variable
         by_kind_variable = self._by_kind_variable
         for position in range(upto, count):
-            event = events[position]
-            time_us = event.timestamp_us
-            kind = event.kind
-            variable = event.variable
+            time_us = timestamps[position]
+            kind = kinds[position]
+            variable = variables[position]
             bucket = by_kind.get(kind)
             if bucket is None:
                 bucket = by_kind[kind] = _IndexBucket()
@@ -408,19 +510,27 @@ class Trace:
         self._indexed_upto = count
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._timestamps)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        for position in range(len(self._timestamps)):
+            yield self._event_at(position)
 
-    def __getitem__(self, index: int) -> Event:
-        return self._events[index]
+    def __getitem__(self, index: Union[int, slice]) -> Any:
+        if isinstance(index, slice):
+            return [self._event_at(position) for position in range(*index.indices(len(self._timestamps)))]
+        # Range-check through the timestamp column (raises IndexError like a
+        # list would), then materialise.
+        self._timestamps[index]
+        return self._event_at(index)
 
     @property
     def events(self) -> Sequence[Event]:
         """A stable immutable view of the events (cached until the next append)."""
         if self._events_view is None:
-            self._events_view = tuple(self._events)
+            self._events_view = tuple(
+                self._event_at(position) for position in range(len(self._timestamps))
+            )
         return self._events_view
 
     @property
@@ -457,14 +567,14 @@ class Trace:
     ) -> List[Event]:
         """Return events matching all provided filters, in time order."""
         bucket = self._bucket_for(kind, variable)
+        event_at = self._event_at
         if bucket is None:
             lo = 0 if after_us is None else bisect_left(self._timestamps, after_us)
             hi = len(self._timestamps) if before_us is None else bisect_right(self._timestamps, before_us)
-            selected = self._events[lo:hi]
+            selected = [event_at(position) for position in range(lo, hi)]
         else:
             lo, hi = bucket.window(after_us, before_us)
-            events = self._events
-            selected = [events[position] for position in bucket.positions[lo:hi]]
+            selected = [event_at(position) for position in bucket.positions[lo:hi]]
         if predicate is not None:
             return [event for event in selected if predicate(event)]
         return selected
@@ -483,21 +593,21 @@ class Trace:
         a window get the early-exit path instead of materialising every match.
         """
         bucket = self._bucket_for(kind, variable)
-        events = self._events
+        event_at = self._event_at
         # Iterate by index (no window slice copy) so the early exit really is
         # O(log n + 1) when the first candidate matches.
         if bucket is None:
             lo = 0 if after_us is None else bisect_left(self._timestamps, after_us)
             hi = len(self._timestamps) if before_us is None else bisect_right(self._timestamps, before_us)
-            for index in range(lo, hi):
-                event = events[index]
+            for position in range(lo, hi):
+                event = event_at(position)
                 if predicate is None or predicate(event):
                     return event
             return None
         lo, hi = bucket.window(after_us, before_us)
         positions = bucket.positions
         for index in range(lo, hi):
-            event = events[positions[index]]
+            event = event_at(positions[index])
             if predicate is None or predicate(event):
                 return event
         return None
@@ -522,25 +632,36 @@ class Trace:
             lo, hi = bucket.window(after_us, before_us)
             if lo < hi:
                 slices.append(bucket.positions[lo:hi])
-        events = self._events
         if not slices:
             return []
+        event_at = self._event_at
         if len(slices) == 1:
-            return [events[position] for position in slices[0]]
-        return [events[position] for position in heapq.merge(*slices)]
+            return [event_at(position) for position in slices[0]]
+        return [event_at(position) for position in heapq.merge(*slices)]
 
     def restricted_to(self, kinds: Iterable[EventKind]) -> "Trace":
         """A copy containing only the given event kinds (e.g. M and C for R-testing)."""
         return Trace.from_sorted(self.select_kinds(kinds))
 
     def value_changes(self, kind: EventKind, variable: str) -> List[Tuple[int, Any]]:
-        """``(timestamp, value)`` pairs where ``variable`` changed value."""
+        """``(timestamp, value)`` pairs where ``variable`` changed value.
+
+        Reads the value/timestamp columns directly — change detection needs no
+        event materialisation.
+        """
+        self._ensure_index()
+        bucket = self._by_kind_variable.get((kind, variable))
+        if bucket is None:
+            return []
+        values = self._values
+        timestamps = self._timestamps
         changes: List[Tuple[int, Any]] = []
         previous: Any = object()
-        for event in self.select(kind=kind, variable=variable):
-            if event.value != previous:
-                changes.append((event.timestamp_us, event.value))
-                previous = event.value
+        for position in bucket.positions:
+            value = values[position]
+            if value != previous:
+                changes.append((timestamps[position], value))
+                previous = value
         return changes
 
 
@@ -550,7 +671,13 @@ class TraceRecorder:
     ``clock`` is a zero-argument callable returning the current simulated time
     in microseconds (usually ``simulator.now`` via a lambda), so the recorder
     does not depend on the platform package.
+
+    All ``record_*`` methods use the trace's columnar fast path: no
+    :class:`Event` object is constructed at record time (they return ``None``;
+    read ``recorder.trace[-1]`` when a test needs the materialised event).
     """
+
+    __slots__ = ("_clock", "trace")
 
     def __init__(self, clock: Callable[[], int]) -> None:
         self._clock = clock
@@ -560,34 +687,29 @@ class TraceRecorder:
     def now(self) -> int:
         return self._clock()
 
-    def _record(self, kind: EventKind, variable: str, value: Any, **meta: Any) -> Event:
-        event = Event(kind, variable, value, self._clock(), dict(meta))
-        self.trace.append(event)
-        return event
-
-    def record_m(self, variable: str, value: Any, **meta: Any) -> Event:
+    def record_m(self, variable: str, value: Any, **meta: Any) -> None:
         """Record a monitored-variable change (physical input boundary)."""
-        return self._record(EventKind.M, variable, value, **meta)
+        self.trace._append_raw(EventKind.M, variable, value, self._clock(), meta or None)
 
-    def record_i(self, variable: str, value: Any, **meta: Any) -> Event:
+    def record_i(self, variable: str, value: Any, **meta: Any) -> None:
         """Record an input-variable read by CODE(M)."""
-        return self._record(EventKind.I, variable, value, **meta)
+        self.trace._append_raw(EventKind.I, variable, value, self._clock(), meta or None)
 
-    def record_o(self, variable: str, value: Any, **meta: Any) -> Event:
+    def record_o(self, variable: str, value: Any, **meta: Any) -> None:
         """Record an output-variable write by CODE(M)."""
-        return self._record(EventKind.O, variable, value, **meta)
+        self.trace._append_raw(EventKind.O, variable, value, self._clock(), meta or None)
 
-    def record_c(self, variable: str, value: Any, **meta: Any) -> Event:
+    def record_c(self, variable: str, value: Any, **meta: Any) -> None:
         """Record a controlled-variable change (physical output boundary)."""
-        return self._record(EventKind.C, variable, value, **meta)
+        self.trace._append_raw(EventKind.C, variable, value, self._clock(), meta or None)
 
-    def record_transition_start(self, transition_id: str, **meta: Any) -> Event:
+    def record_transition_start(self, transition_id: str, **meta: Any) -> None:
         """Record that CODE(M) started executing a model transition."""
-        return self._record(EventKind.TRANSITION_START, transition_id, None, **meta)
+        self.trace._append_raw(EventKind.TRANSITION_START, transition_id, None, self._clock(), meta or None)
 
-    def record_transition_end(self, transition_id: str, **meta: Any) -> Event:
+    def record_transition_end(self, transition_id: str, **meta: Any) -> None:
         """Record that CODE(M) finished executing a model transition."""
-        return self._record(EventKind.TRANSITION_END, transition_id, None, **meta)
+        self.trace._append_raw(EventKind.TRANSITION_END, transition_id, None, self._clock(), meta or None)
 
     def reset(self) -> None:
         """Start a fresh trace (used between test-case executions)."""

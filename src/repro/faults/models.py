@@ -115,12 +115,34 @@ class ClockDriftFault(FaultModel):
         original = simulator.schedule
         factor = 1.0 + self.drift
 
-        def drifted_schedule(delay_us, callback, *, priority=0, label=""):
+        # Mirrors Simulator.schedule's full signature (positional-or-keyword
+        # priority/label plus the reuse recycling hint) so the hot-path
+        # positional call sites behave identically under drift.
+        def drifted_schedule(delay_us, callback, priority=0, label="", reuse=None):
             return original(
-                int(round(delay_us * factor)), callback, priority=priority, label=label
+                int(round(delay_us * factor)), callback, priority, label, reuse
             )
 
         simulator.schedule = drifted_schedule
+
+        # The optimised kernel's periodic events (device sampling loops)
+        # re-arm inside the kernel with the period stored at registration, so
+        # the drift must be applied there: scaling both the initial delay and
+        # the period reproduces exactly what per-period drifted ``schedule``
+        # re-arms would do (each period adds ``round(period * factor)``).
+        original_periodic = getattr(simulator, "schedule_periodic", None)
+        if original_periodic is not None:
+
+            def drifted_periodic(delay_us, period_us, callback, priority=0, label=""):
+                return original_periodic(
+                    int(round(delay_us * factor)),
+                    int(round(period_us * factor)),
+                    callback,
+                    priority,
+                    label,
+                )
+
+            simulator.schedule_periodic = drifted_periodic
 
     def describe(self) -> str:
         return f"clock-drift(drift={self.drift:+g}, relative delays x{1 + self.drift:g})"

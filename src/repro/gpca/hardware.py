@@ -17,7 +17,7 @@ from typing import Iterable, Optional
 
 from ..codegen.execution_model import ExecutionTimeModel
 from ..core.four_variables import TraceRecorder
-from ..integration.base import PlatformBundle
+from ..integration.base import EngineProfile, PlatformBundle
 from ..integration.interfacing import (
     EventInputBinding,
     InputInterfacing,
@@ -56,17 +56,33 @@ def build_platform_bundle(
     *,
     seed: int = 0,
     input_variables: Optional[Iterable[str]] = None,
+    engine: Optional[EngineProfile] = None,
 ) -> PlatformBundle:
     """Assemble one fresh simulated pump platform.
 
     ``input_variables`` restricts the input interfacing code to the i-variables
     the generated chart actually declares (the Fig. 2 fragment, for example,
     has no occlusion or door inputs); with ``None`` every binding is created.
+
+    ``engine`` selects the runtime engine (kernel + trace recorder).  The
+    default is the optimised production engine; equivalence tests and
+    benchmarks pass ``repro._reference.seed_engine.SEED_ENGINE`` to run the
+    same system on the frozen seed implementations.
     """
-    simulator = Simulator()
-    recorder = TraceRecorder(lambda: simulator.now)
+    if engine is None:
+        simulator = Simulator()
+        recorder = TraceRecorder(lambda: simulator.now)
+        device_wrapper = None
+        scheduler_class = None
+    else:
+        simulator = engine.simulator_factory()
+        recorder = engine.recorder_factory(lambda: simulator.now)
+        device_wrapper = engine.device_wrapper
+        scheduler_class = engine.scheduler_class
     randomness = RandomSource(seed)
-    hardware = PumpHardware(simulator, recorder, randomness=randomness)
+    hardware = PumpHardware(
+        simulator, recorder, randomness=randomness, device_wrapper=device_wrapper
+    )
     environment = PatientEnvironment(simulator, hardware)
     interface = build_pump_interface()
 
@@ -115,6 +131,7 @@ def build_platform_bundle(
     return PlatformBundle(
         simulator=simulator,
         recorder=recorder,
+        scheduler_class=scheduler_class,
         hardware=hardware,
         environment=environment,
         interface=interface,

@@ -10,12 +10,12 @@ for R-testing and M-testing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from ..codegen.generator import GeneratedArtifacts, generate_code
 from ..core.instrumentation import ProbeConfiguration
 from ..core.sut import SutFactory
-from ..integration.base import SchemeConfig
+from ..integration.base import EngineProfile, SchemeConfig
 from ..integration.interference import InterferedConfig, InterferedSystem
 from ..integration.multi_threaded import MultiThreadedConfig, MultiThreadedSystem
 from ..integration.single_threaded import SingleThreadedConfig, SingleThreadedSystem
@@ -37,6 +37,11 @@ class PumpBuildOptions:
     use_extended_model: bool = False
     probes: ProbeConfiguration = None  # defaults to full M-level probes
     artifacts: Optional[GeneratedArtifacts] = None
+    #: Runtime engine override (kernel + recorder); None = production engine.
+    engine: Optional[EngineProfile] = None
+    #: CODE(M) executor factory override; None = ``artifacts.new_instance()``.
+    #: The compiled-C backend threads its factory through here.
+    code_factory: Optional[Callable[[], Any]] = None
 
     def resolve_artifacts(self) -> GeneratedArtifacts:
         if self.artifacts is not None:
@@ -49,7 +54,9 @@ def _prepare(options: Optional[PumpBuildOptions]) -> tuple:
     options = options or PumpBuildOptions()
     artifacts = options.resolve_artifacts()
     bundle = build_platform_bundle(
-        seed=options.seed, input_variables=artifacts.code_model.input_names
+        seed=options.seed,
+        input_variables=artifacts.code_model.input_names,
+        engine=options.engine,
     )
     probes = options.probes or ProbeConfiguration.m_level()
     return options, artifacts, bundle, probes
@@ -59,6 +66,7 @@ def _apply_common_config(config: SchemeConfig, options: PumpBuildOptions, probes
     config.execution_model = arm7_execution_model()
     config.probes = probes
     config.seed = options.seed
+    config.code_factory = options.code_factory
 
 
 def make_scheme1_system(
@@ -113,6 +121,9 @@ def build_scheme_system(
     period_us: Optional[int] = None,
     interference_scale: Optional[float] = None,
     artifacts: Optional[GeneratedArtifacts] = None,
+    probes: Optional[ProbeConfiguration] = None,
+    engine: Optional[EngineProfile] = None,
+    code_factory: Optional[Callable[[], Any]] = None,
 ):
     """Build one implemented system from plain parameters.
 
@@ -122,13 +133,23 @@ def build_scheme_system(
     can be described by a picklable spec and assembled inside a worker
     process.  ``artifacts`` lets callers share one generated CODE(M) across
     many systems (the campaign engine's content-keyed artifact cache).
+
+    ``probes`` overrides the measurement-probe level (default full M-level);
+    ``engine`` overrides the runtime engine; ``code_factory`` overrides the
+    CODE(M) executor (the compiled-C backend).  All three default to the
+    production configuration.
     """
     if period_us is not None and scheme != SCHEME_SINGLE_THREADED:
         raise ValueError("period_us only applies to scheme 1 (single-threaded)")
     if interference_scale is not None and scheme != SCHEME_INTERFERED:
         raise ValueError("interference_scale only applies to scheme 3 (interfered)")
     options = PumpBuildOptions(
-        seed=seed, use_extended_model=use_extended_model, artifacts=artifacts
+        seed=seed,
+        use_extended_model=use_extended_model,
+        probes=probes,
+        artifacts=artifacts,
+        engine=engine,
+        code_factory=code_factory,
     )
     if scheme == SCHEME_SINGLE_THREADED:
         config = SingleThreadedConfig()

@@ -31,6 +31,40 @@ from .interfacing import InputInterfacing, OutputInterfacing
 StimulusAction = Callable[[int], None]
 
 
+@dataclass(frozen=True)
+class EngineProfile:
+    """A pluggable runtime engine: the kernel plus the trace recording path.
+
+    The default engine is the optimised production one (``Simulator`` +
+    ``TraceRecorder``); ``repro._reference.seed_engine.SEED_ENGINE`` is the
+    frozen pre-optimisation engine kept as a byte-identity oracle.  The
+    factories are duck-typed — anything with the ``Simulator`` /
+    ``TraceRecorder`` surface works — so equivalence tests and benchmarks can
+    run whole systems on either engine through
+    :func:`repro.gpca.hardware.build_platform_bundle`.
+    """
+
+    name: str
+    simulator_factory: Callable[[], Any]
+    recorder_factory: Callable[[Callable[[], int]], Any]
+    #: Optional RTOS-scheduler class override (None = production
+    #: ``RTOSScheduler``).  The seed engine uses this to freeze the pre-rebuild
+    #: scheduler hot path alongside its kernel and recorder.
+    scheduler_class: Optional[Any] = None
+    #: Optional wrapper applied to every concrete device class before
+    #: instantiation (None = production device behaviour).  The seed engine
+    #: substitutes the pre-rebuild sampling/latching implementations.
+    device_wrapper: Optional[Callable[[type], type]] = None
+
+
+#: The production engine: optimised kernel + columnar trace recorder.
+DEFAULT_ENGINE = EngineProfile(
+    name="default",
+    simulator_factory=Simulator,
+    recorder_factory=TraceRecorder,
+)
+
+
 @dataclass
 class PlatformBundle:
     """Everything the integration layer needs from the platform and case study.
@@ -49,6 +83,9 @@ class PlatformBundle:
     input_interfacing: InputInterfacing
     output_interfacing: OutputInterfacing
     stimulus_actions: Dict[str, StimulusAction] = field(default_factory=dict)
+    #: Scheduler class the integration layer should instantiate (None =
+    #: production ``RTOSScheduler``); carried from the engine profile.
+    scheduler_class: Optional[Any] = None
 
 
 @dataclass
@@ -62,6 +99,11 @@ class SchemeConfig:
     #: completion, the behaviour of a full generated step function).
     transitions_per_cycle: Optional[int] = None
     seed: int = 0
+    #: Optional factory overriding ``artifacts.new_instance()`` as the CODE(M)
+    #: executor — the injection point for the compiled-C backend
+    #: (``repro.codegen.c_backend``).  The returned object must expose the
+    #: ``GeneratedCode`` surface.
+    code_factory: Optional[Callable[[], Any]] = None
 
 
 class ImplementedSystem(SystemUnderTest):
@@ -78,8 +120,12 @@ class ImplementedSystem(SystemUnderTest):
         self.bundle = bundle
         self.artifacts = artifacts
         self.config = config or SchemeConfig()
-        self.code = artifacts.new_instance()
-        self.scheduler = RTOSScheduler(
+        if self.config.code_factory is not None:
+            self.code = self.config.code_factory()
+        else:
+            self.code = artifacts.new_instance()
+        scheduler_class = bundle.scheduler_class or RTOSScheduler
+        self.scheduler = scheduler_class(
             bundle.simulator, context_switch_us=self.config.context_switch_us
         )
         self.probes = MeasurementProbes(bundle.recorder, self.config.probes)
@@ -149,34 +195,47 @@ class ImplementedSystem(SystemUnderTest):
         them (directly to devices in scheme 1, to the actuation queue in
         schemes 2 and 3).
         """
+        # Probe gating is hoisted out of the loop: the configuration is
+        # immutable for the system's lifetime, so the per-event facade calls
+        # collapse to direct recorder calls (or nothing) per cycle.
+        probes = self.probes
+        configuration = probes.configuration
+        record_io = configuration.record_io_events
+        record_transitions = configuration.record_transitions
+        recorder = probes.recorder
+        code = self.code
         for variable, value in pending_inputs:
-            self.code.set_input(variable, value)
-            self.probes.input_read(variable, value)
-        now = self.bundle.simulator.now
+            code.set_input(variable, value)
+            if record_io:
+                recorder.record_i(variable, value)
+        now = self.bundle.simulator._clock._now_us
         elapsed_us = now - self._code_clock_anchor_us
         ticks = elapsed_us // US_PER_MODEL_TICK
         if ticks > 0:
-            self.code.advance_clock(ticks)
+            code.advance_clock(ticks)
             self._code_clock_anchor_us += ticks * US_PER_MODEL_TICK
 
         writes: List[OutputWrite] = []
         fired = 0
         while transitions_limit is None or fired < transitions_limit:
-            row = self.code.enabled_transition()
+            row = code.enabled_transition()
             if row is None:
                 if fired == 0:
                     yield Compute(
                         self.execution_model.idle_scan_cost(self._rng), label="idle_scan"
                     )
                 break
-            self.probes.transition_started(row.name)
+            if record_transitions:
+                recorder.record_transition_start(row.name)
             yield Compute(
                 self.execution_model.transition_cost(row, self._rng), label=row.name
             )
-            row_writes = self.code.fire(row)
-            self.probes.transition_finished(row.name)
+            row_writes = code.fire(row)
+            if record_transitions:
+                recorder.record_transition_end(row.name)
             for write in row_writes:
-                self.probes.output_written(write.variable, write.value)
+                if record_io:
+                    recorder.record_o(write.variable, write.value)
                 writes.append(write)
             fired += 1
         if transitions_limit is None or fired < transitions_limit:

@@ -44,6 +44,12 @@ class Device:
         self.name = name
         self.simulator = simulator
         self.recorder = recorder
+        # Kernel-event labels, precomputed once: sampling devices schedule two
+        # events per period, so per-call f-string formatting was measurable in
+        # the dispatch profile.
+        self._label_sample = f"sample:{name}"
+        self._label_latch = f"latch:{name}"
+        self._label_actuate = f"actuate:{name}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name!r})"
@@ -83,6 +89,9 @@ class EventInputDevice(Device):
         self.sampling_period_us = sampling_period_us
         self.sampling_offset_us = sampling_offset_us
         self.conversion_latency = conversion_latency or constant(0)
+        # Pre-bound sampler: one draw per detected edge, two attribute hops
+        # saved on each.
+        self._latency_sample = self.conversion_latency.sample
         self.buffer_capacity = buffer_capacity
         self._rng = rng
         self._pending_edges: List[DeviceEvent] = []
@@ -90,6 +99,8 @@ class EventInputDevice(Device):
         self._line_state = False
         self.missed_events = 0
         self._sampling_started = False
+        # Kernel handle of the periodic sampling event (see schedule_periodic).
+        self._sample_handle = None
 
     # ------------------------------------------------------------------
     # Physical side (called by the environment)
@@ -117,20 +128,24 @@ class EventInputDevice(Device):
         if self._sampling_started:
             return
         self._sampling_started = True
-        self.simulator.schedule(
-            self.sampling_offset_us, self._sample, label=f"sample:{self.name}"
+        # The kernel re-arms the sampling event itself (schedule_periodic),
+        # drawing the sequence number at the exact point the tail re-arm in
+        # ``_sample`` used to — dispatch order is unchanged, but the innermost
+        # device loop no longer pays one schedule call per period per device.
+        self._sample_handle = self.simulator.schedule_periodic(
+            self.sampling_offset_us, self.sampling_period_us, self._sample, 0, self._label_sample
         )
 
     def _sample(self) -> None:
         if self._pending_edges:
-            latency = self.conversion_latency.sample(self._rng)
+            latency = self._latency_sample(self._rng)
             self.simulator.schedule(
                 latency,
                 lambda edges=list(self._pending_edges): self._latch(edges),
-                label=f"latch:{self.name}",
+                0,
+                self._label_latch,
             )
             self._pending_edges.clear()
-        self.simulator.schedule(self.sampling_period_us, self._sample, label=f"sample:{self.name}")
 
     def _latch(self, edges: List[DeviceEvent]) -> None:
         now = self.simulator.now
@@ -182,10 +197,15 @@ class StateInputDevice(Device):
         self.sampling_period_us = sampling_period_us
         self.sampling_offset_us = sampling_offset_us
         self.conversion_latency = conversion_latency or constant(0)
+        # Pre-bound sampler: drawn once per sampling period (the hot path).
+        self._latency_sample = self.conversion_latency.sample
         self._rng = rng
         self._physical_value = initial_value
         self._latched_value = initial_value
         self._sampling_started = False
+        self._latches_in_flight = 0
+        # Kernel handle of the periodic sampling event (see schedule_periodic).
+        self._sample_handle = None
 
     # Physical side -----------------------------------------------------
     def set_physical(self, value: Any) -> None:
@@ -204,17 +224,31 @@ class StateInputDevice(Device):
         if self._sampling_started:
             return
         self._sampling_started = True
-        self.simulator.schedule(self.sampling_offset_us, self._sample, label=f"sample:{self.name}")
+        # Kernel-side periodic re-arm; see EventInputDevice.start.
+        self._sample_handle = self.simulator.schedule_periodic(
+            self.sampling_offset_us, self.sampling_period_us, self._sample, 0, self._label_sample
+        )
 
     def _sample(self) -> None:
         value = self._physical_value
-        latency = self.conversion_latency.sample(self._rng)
-        self.simulator.schedule(
-            latency, lambda v=value: self._latch(v), label=f"latch:{self.name}"
-        )
-        self.simulator.schedule(self.sampling_period_us, self._sample, label=f"sample:{self.name}")
+        # The latency draw happens unconditionally so the device's RNG stream
+        # stays aligned with the seed engine draw for draw.
+        latency = self._latency_sample(self._rng)
+        # Skip the latch event when it cannot change anything: the sampled
+        # value equals the latched one and no earlier latch is still in
+        # flight (an in-flight latch may carry a different value, and a
+        # shorter-latency younger sample must still be able to overtake it —
+        # exactly as on the seed path).  A skipped latch had no observable
+        # effect, and dropping a schedule call never reorders the remaining
+        # events (sequence numbers stay monotonic in call order), so traces
+        # are byte-identical while steady-state sensors cost one kernel event
+        # per period instead of two.
+        if self._latches_in_flight or value != self._latched_value:
+            self._latches_in_flight += 1
+            self.simulator.schedule(latency, lambda v=value: self._latch(v), 0, self._label_latch)
 
     def _latch(self, value: Any) -> None:
+        self._latches_in_flight -= 1
         self._latched_value = value
 
     # Software side -------------------------------------------------------
@@ -245,6 +279,7 @@ class OutputDevice(Device):
         super().__init__(name, simulator, recorder)
         self.controlled_variable = controlled_variable
         self.actuation_latency = actuation_latency or constant(0)
+        self._latency_sample = self.actuation_latency.sample
         self._rng = rng
         self._physical_value = initial_value
         self._commanded_value = initial_value
@@ -256,8 +291,8 @@ class OutputDevice(Device):
         """Command a new actuator value (driver + hardware apply it after latency)."""
         self.writes += 1
         self._commanded_value = value
-        latency = self.actuation_latency.sample(self._rng)
-        self.simulator.schedule(latency, lambda v=value: self._apply(v), label=f"actuate:{self.name}")
+        latency = self._latency_sample(self._rng)
+        self.simulator.schedule(latency, lambda v=value: self._apply(v), 0, self._label_actuate)
 
     # Physical side -------------------------------------------------------
     def _apply(self, value: Any) -> None:

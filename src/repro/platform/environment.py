@@ -16,7 +16,7 @@ For the timing-testing framework it plays two roles:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.four_variables import TraceRecorder
 from .devices.actuators import AlarmLed, Buzzer, PumpMotor
@@ -75,26 +75,38 @@ class PumpHardware:
         recorder: TraceRecorder,
         *,
         randomness: Optional[RandomSource] = None,
+        device_wrapper: Optional[Callable[[type], type]] = None,
     ) -> None:
         self.simulator = simulator
         self.recorder = recorder
         randomness = randomness or RandomSource(0)
-        self.bolus_button = BolusRequestButton(
+        # ``device_wrapper`` lets an engine profile substitute device-driver
+        # behaviour (the seed engine re-installs the pre-rebuild sampling and
+        # latching implementations); the production path passes classes
+        # through untouched.
+        wrap = device_wrapper if device_wrapper is not None else (lambda cls: cls)
+        self.bolus_button = wrap(BolusRequestButton)(
             simulator, recorder, rng=randomness.stream("bolus_button")
         )
-        self.clear_alarm_button = ClearAlarmButton(
+        self.clear_alarm_button = wrap(ClearAlarmButton)(
             simulator, recorder, rng=randomness.stream("clear_alarm_button")
         )
-        self.reservoir_sensor = ReservoirLevelSensor(
+        self.reservoir_sensor = wrap(ReservoirLevelSensor)(
             simulator, recorder, rng=randomness.stream("reservoir_sensor")
         )
-        self.occlusion_sensor = OcclusionSensor(
+        self.occlusion_sensor = wrap(OcclusionSensor)(
             simulator, recorder, rng=randomness.stream("occlusion_sensor")
         )
-        self.door_sensor = DoorSensor(simulator, recorder, rng=randomness.stream("door_sensor"))
-        self.pump_motor = PumpMotor(simulator, recorder, rng=randomness.stream("pump_motor"))
-        self.buzzer = Buzzer(simulator, recorder, rng=randomness.stream("buzzer"))
-        self.alarm_led = AlarmLed(simulator, recorder, rng=randomness.stream("alarm_led"))
+        self.door_sensor = wrap(DoorSensor)(
+            simulator, recorder, rng=randomness.stream("door_sensor")
+        )
+        self.pump_motor = wrap(PumpMotor)(
+            simulator, recorder, rng=randomness.stream("pump_motor")
+        )
+        self.buzzer = wrap(Buzzer)(simulator, recorder, rng=randomness.stream("buzzer"))
+        self.alarm_led = wrap(AlarmLed)(
+            simulator, recorder, rng=randomness.stream("alarm_led")
+        )
 
     @property
     def input_devices(self) -> List[object]:

@@ -59,13 +59,41 @@ class JitterModel:
             raise ValueError("nominal duration must be non-negative")
         if self.plus_us < 0 or self.minus_us < 0:
             raise ValueError("jitter bounds must be non-negative")
+        # Per-draw constants, precomputed once (the dataclass is frozen, so
+        # object.__setattr__): the accept/reject bound and its bit width.
+        n = self.plus_us + self.minus_us + 1
+        object.__setattr__(self, "_range_n", n)
+        object.__setattr__(self, "_range_bits", n.bit_length())
 
     def sample(self, rng: Optional[random.Random] = None) -> int:
-        """Draw one duration in microseconds."""
-        if rng is None or (self.plus_us == 0 and self.minus_us == 0):
+        """Draw one duration in microseconds.
+
+        The draw is ``rng.randint(-minus_us, plus_us)`` in effect, but goes
+        through ``Random._randbelow`` directly where available: ``randint(a,
+        b)`` is defined as ``a + _randbelow(b - a + 1)``, so the underlying
+        bit-stream consumption — and therefore every downstream draw — is
+        bit-identical, without ``randrange``'s per-call argument checking.
+        This is the hottest RNG call in the simulator (execution jitter and
+        sensor conversion latencies).
+        """
+        n = self._range_n
+        if rng is None or n == 1:
             return self.nominal_us
-        jitter = rng.randint(-self.minus_us, self.plus_us)
-        return max(0, self.nominal_us + jitter)
+        if rng.__class__ is random.Random:
+            # Inline of CPython's _randbelow_with_getrandbits accept/reject
+            # loop (stable since 3.2): draw bit_length(n) bits, reject values
+            # >= n.  Bit consumption is exactly what randint would use, so
+            # every downstream draw stays bit-identical.
+            getrandbits = rng.getrandbits
+            k = self._range_bits
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            jitter = r - self.minus_us
+        else:  # pragma: no cover - Random subclasses with custom _randbelow
+            jitter = rng.randint(-self.minus_us, self.plus_us)
+        value = self.nominal_us + jitter
+        return value if value > 0 else 0
 
     @property
     def worst_case_us(self) -> int:

@@ -12,13 +12,42 @@ The kernel guarantees:
   insertion order (FIFO), which makes simultaneous hardware/OS interactions
   deterministic;
 * a cancelled event never fires.
+
+Hot-loop design
+---------------
+
+This kernel is the innermost loop of every test run (a single R-test run
+dispatches ~30k events), so the implementation is tuned for dispatch
+throughput while preserving the dispatch order — and therefore every
+downstream trace and verdict — byte for byte:
+
+* **Tuple heap entries.**  The queue holds plain ``(time, priority, sequence,
+  handle, callback)`` tuples.  The sequence number is unique per entry, so
+  heap comparisons resolve in C on the first differing integer and never
+  reach the handle; the callback rides along so dispatch reads it straight
+  out of the tuple.
+* **Batched drain.**  :meth:`run_until` and :meth:`run` drain the heap in one
+  tight loop instead of calling :meth:`step` per event: the heap functions and
+  counters are bound to locals, and all events sharing a timestamp are
+  dispatched in one pass with a single clock update per distinct instant.
+  The loop still pops entries strictly one at a time in ``(time, priority,
+  sequence)`` order — a callback may insert a higher-priority event at the
+  *current* instant and it must fire next — so batching changes cost, never
+  order.
+* **Lazy compaction.**  Cancelled entries stay in the heap until they either
+  surface (and are skipped) or stale entries outnumber live ones, at which
+  point the heap is rebuilt without them (see :meth:`_note_cancelled`).
+
+The pre-rebuild kernel is preserved verbatim in
+``repro._reference.seed_engine``; the byte-identity tests run whole systems
+on both and compare serialized reports.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, List, Optional, Tuple
 
 from .time import SimClock, format_us
 
@@ -27,18 +56,19 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, running a broken queue)."""
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time_us: int
-    priority: int
-    sequence: int
-    handle: "EventHandle" = field(compare=False)
-
-
 class EventHandle:
     """Handle to a scheduled event; supports cancellation and inspection."""
 
-    __slots__ = ("time_us", "priority", "callback", "label", "_cancelled", "_fired", "_owner")
+    __slots__ = (
+        "time_us",
+        "priority",
+        "callback",
+        "label",
+        "period_us",
+        "_cancelled",
+        "_fired",
+        "_owner",
+    )
 
     def __init__(
         self,
@@ -52,6 +82,7 @@ class EventHandle:
         self.priority = priority
         self.callback = callback
         self.label = label
+        self.period_us = None
         self._cancelled = False
         self._fired = False
         self._owner = owner
@@ -82,6 +113,15 @@ class EventHandle:
         return f"EventHandle({self.label!r} @ {format_us(self.time_us)}, {state})"
 
 
+#: A heap entry: ``(time_us, priority, sequence, handle, callback)``.  Sequence
+#: numbers are unique, so tuple comparison never reaches the handle.  The
+#: callback rides in the tuple so dispatch skips one attribute load per event;
+#: a stale entry (cancelled, or left behind by a recycled handle) is never
+#: dispatched, because only *fired* handles are recycled and their entries
+#: have already been popped.
+_QueueEntry = Tuple[int, int, int, EventHandle, Callable[[], None]]
+
+
 class Simulator:
     """The discrete-event simulator.
 
@@ -109,7 +149,7 @@ class Simulator:
     @property
     def now(self) -> int:
         """Current simulated time in microseconds."""
-        return self._clock.now
+        return self._clock._now_us
 
     @property
     def events_processed(self) -> int:
@@ -135,7 +175,7 @@ class Simulator:
         """
         self._stale += 1
         if self._stale >= self._COMPACTION_MIN_STALE and self._stale * 2 > len(self._queue):
-            self._queue = [entry for entry in self._queue if not entry.handle.cancelled]
+            self._queue = [entry for entry in self._queue if not entry[3]._cancelled]
             heapq.heapify(self._queue)
             self._stale = 0
 
@@ -146,38 +186,109 @@ class Simulator:
         self,
         time_us: int,
         callback: Callable[[], None],
-        *,
         priority: int = 0,
         label: str = "",
+        reuse: Optional[EventHandle] = None,
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulated time ``time_us``.
 
         ``priority`` breaks ties between events at the same instant (lower
         fires first).  Scheduling in the past raises :class:`SimulationError`.
+
+        ``reuse`` may pass back a handle previously returned by this simulator
+        that has *fired* and is referenced nowhere else; the kernel then
+        recycles the handle object instead of allocating a new one.  Recycling
+        is purely an allocation optimisation — sequence numbers, dispatch
+        order and the returned handle's observable state are identical either
+        way.  Periodic re-arm chains (device sampling, task releases) are the
+        intended users: exactly one of their events is in flight at a time, so
+        the fired handle is always free for the next period.  A cancelled or
+        still-pending handle is never recycled (its heap entry may still
+        surface), so passing one is safe and simply allocates.
         """
-        if time_us < self._clock.now:
+        if time_us < self._clock._now_us:
             raise SimulationError(
                 f"cannot schedule event {label!r} at {format_us(time_us)} "
-                f"in the past (now={format_us(self._clock.now)})"
+                f"in the past (now={format_us(self._clock._now_us)})"
             )
-        handle = EventHandle(time_us, priority, callback, label, owner=self)
-        entry = _QueueEntry(time_us, priority, self._sequence, handle)
-        self._sequence += 1
-        heapq.heappush(self._queue, entry)
+        if reuse is not None and reuse._fired and not reuse._cancelled:
+            handle = reuse
+            handle.time_us = time_us
+            handle.priority = priority
+            handle.callback = callback
+            handle.label = label
+            handle._fired = False
+        else:
+            handle = EventHandle(time_us, priority, callback, label, self)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._queue, (time_us, priority, sequence, handle, callback))
         return handle
 
     def schedule(
         self,
         delay_us: int,
         callback: Callable[[], None],
-        *,
+        priority: int = 0,
+        label: str = "",
+        reuse: Optional[EventHandle] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative delay (``delay_us`` >= 0).
+
+        See :meth:`schedule_at` for the ``reuse`` recycling contract.
+        """
+        if delay_us < 0:
+            raise SimulationError(f"negative delay {delay_us} for event {label!r}")
+        time_us = self._clock._now_us + delay_us
+        if reuse is not None and reuse._fired and not reuse._cancelled:
+            handle = reuse
+            handle.time_us = time_us
+            handle.priority = priority
+            handle.callback = callback
+            handle.label = label
+            handle._fired = False
+        else:
+            handle = EventHandle(time_us, priority, callback, label, self)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._queue, (time_us, priority, sequence, handle, callback))
+        return handle
+
+    def schedule_periodic(
+        self,
+        delay_us: int,
+        period_us: int,
+        callback: Callable[[], None],
         priority: int = 0,
         label: str = "",
     ) -> EventHandle:
-        """Schedule ``callback`` after a relative delay (``delay_us`` >= 0)."""
+        """Schedule ``callback`` after ``delay_us``, then every ``period_us``.
+
+        The kernel re-queues the same handle immediately after each firing —
+        before any other event is popped — with a freshly drawn sequence
+        number.  A sequence number is therefore consumed at exactly the point
+        an explicit tail re-arm inside the callback would consume one, so a
+        periodic event is dispatch-order-identical to a callback whose *last*
+        statement reschedules itself; it just skips the per-period Python
+        ``schedule`` call.  Device sampling loops are the intended users.
+
+        Cancelling the returned handle between firings stops the chain.
+        (Cancelling from *inside* the callback does not — the handle is marked
+        fired during dispatch, which makes ``cancel`` a no-op — so periodic
+        events must be stopped by external code, which is how the device
+        drivers use them.)
+        """
         if delay_us < 0:
             raise SimulationError(f"negative delay {delay_us} for event {label!r}")
-        return self.schedule_at(self._clock.now + delay_us, callback, priority=priority, label=label)
+        if period_us <= 0:
+            raise SimulationError(f"non-positive period {period_us} for event {label!r}")
+        time_us = self._clock._now_us + delay_us
+        handle = EventHandle(time_us, priority, callback, label, self)
+        handle.period_us = period_us
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._queue, (time_us, priority, sequence, handle, callback))
+        return handle
 
     # ------------------------------------------------------------------
     # Execution
@@ -192,16 +303,25 @@ class Simulator:
 
         Returns ``True`` if an event fired, ``False`` if the queue was empty.
         """
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
-            if handle.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heappop(queue)
+            handle = entry[3]
+            if handle._cancelled:
                 self._stale -= 1
                 continue
-            self._clock.advance_to(entry.time_us)
+            self._clock.advance_to(entry[0])
             handle._fired = True
             self._processed += 1
-            handle.callback()
+            entry[4]()
+            period = handle.period_us
+            if period is not None and not handle._cancelled:
+                handle._fired = False
+                next_time = entry[0] + period
+                handle.time_us = next_time
+                sequence = self._sequence
+                self._sequence = sequence + 1
+                heappush(queue, (next_time, handle.priority, sequence, handle, entry[4]))
             return True
         return False
 
@@ -212,43 +332,105 @@ class Simulator:
         at ``time_us`` even if the queue drains earlier, so periodic activities
         resumed later see a consistent notion of "now".
         """
-        if time_us < self._clock.now:
+        clock = self._clock
+        if time_us < clock._now_us:
             raise SimulationError(
                 f"run_until target {format_us(time_us)} is in the past "
-                f"(now={format_us(self._clock.now)})"
+                f"(now={format_us(clock._now_us)})"
             )
         self._running = True
         self._stop_requested = False
+        queue = self._queue
+        pop = heappop
+        push = heappush
+        processed = self._processed
         try:
-            while self._queue and not self._stop_requested:
-                entry = self._queue[0]
-                if entry.handle.cancelled:
-                    heapq.heappop(self._queue)
+            # Tight batched drain.  Entries surface strictly in (time,
+            # priority, sequence) order; the heap is re-examined after every
+            # callback because callbacks schedule (and cancel) freely —
+            # including at the instant being drained.  The clock writes are
+            # direct slot assignments: heap order guarantees monotonicity, so
+            # advance_to's backwards check is redundant here.  The processed
+            # counter accumulates in a local and is flushed on exit; nothing
+            # reads it mid-run.  Periodic handles are re-queued straight after
+            # their callback returns — the exact point a tail re-arm would
+            # draw its sequence number.  The current time is mirrored in a
+            # local (only this loop advances the clock); the stop flag is
+            # checked only after callbacks, the sole place it can be set.
+            now_us = clock._now_us
+            while queue:
+                entry = queue[0]
+                entry_time = entry[0]
+                if entry_time > time_us:
+                    break
+                pop(queue)
+                handle = entry[3]
+                if handle._cancelled:
                     self._stale -= 1
                     continue
-                if entry.time_us > time_us:
+                if entry_time > now_us:
+                    now_us = clock._now_us = entry_time
+                handle._fired = True
+                processed += 1
+                entry[4]()
+                period = handle.period_us
+                if period is not None and not handle._cancelled:
+                    handle._fired = False
+                    next_time = entry_time + period
+                    handle.time_us = next_time
+                    sequence = self._sequence
+                    self._sequence = sequence + 1
+                    push(queue, (next_time, handle.priority, sequence, handle, entry[4]))
+                if self._stop_requested:
                     break
-                self.step()
-            if not self._stop_requested and self._clock.now < time_us:
-                self._clock.advance_to(time_us)
+            if not self._stop_requested and now_us < time_us:
+                clock._now_us = time_us
         finally:
+            self._processed = processed
             self._running = False
 
     def run(self, max_events: int = 1_000_000) -> None:
         """Run until the event queue drains or ``max_events`` fire."""
+        clock = self._clock
         self._running = True
         self._stop_requested = False
+        queue = self._queue
+        pop = heappop
+        push = heappush
         fired = 0
+        processed = self._processed
         try:
             while not self._stop_requested:
+                # The livelock check precedes the empty-queue check (matching
+                # the seed kernel): draining exactly max_events still raises.
                 if fired >= max_events:
                     raise SimulationError(
                         f"simulation exceeded {max_events} events; likely a livelock"
                     )
-                if not self.step():
+                if not queue:
                     break
+                entry = pop(queue)
+                handle = entry[3]
+                if handle._cancelled:
+                    self._stale -= 1
+                    continue
+                entry_time = entry[0]
+                if entry_time > clock._now_us:
+                    clock._now_us = entry_time
+                handle._fired = True
+                processed += 1
+                entry[4]()
+                period = handle.period_us
+                if period is not None and not handle._cancelled:
+                    handle._fired = False
+                    next_time = entry_time + period
+                    handle.time_us = next_time
+                    sequence = self._sequence
+                    self._sequence = sequence + 1
+                    push(queue, (next_time, handle.priority, sequence, handle, entry[4]))
                 fired += 1
         finally:
+            self._processed = processed
             self._running = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

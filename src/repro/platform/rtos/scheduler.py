@@ -19,6 +19,7 @@ effects rather than to hidden modelling artefacts.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, List, Optional
 
 from ..kernel.simulator import Simulator
@@ -26,6 +27,13 @@ from .directives import Compute, Delay, Give, Receive, Send, Take
 from .queue import MessageQueue
 from .semaphore import Semaphore
 from .task import Job, Task, TaskState
+
+# Hot-loop aliases: task-state transitions happen several times per job, and
+# a module-level binding is one dictionary probe cheaper than the enum
+# attribute chain.
+_READY = TaskState.READY
+_RUNNING = TaskState.RUNNING
+_BLOCKED = TaskState.BLOCKED
 
 
 class SchedulerError(RuntimeError):
@@ -56,6 +64,23 @@ class RTOSScheduler:
         self._started = False
         self._in_dispatch = False
         self._dispatch_again = False
+        # Recycled kernel handle for compute-segment completions.  Only one
+        # compute segment runs at a time, so a single spare suffices; it is
+        # refilled on the fire path only (a preempted segment's handle is
+        # cancelled and must never be recycled — its heap entry is stale).
+        self._completion_spare = None
+        # Directive dispatch table: exact type -> bound handler.  One dict
+        # lookup replaces the isinstance chain in the per-directive hot path;
+        # subclassed directives are resolved by isinstance on first miss and
+        # cached (see _advance).
+        self._directive_handlers = {
+            Compute: self._handle_compute,
+            Delay: self._handle_delay,
+            Send: self._handle_send,
+            Receive: self._handle_receive,
+            Give: self._handle_give,
+            Take: self._handle_take,
+        }
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -118,7 +143,7 @@ class RTOSScheduler:
         if delay_us == 0:
             self._release(task)
         else:
-            self.simulator.schedule(delay_us, lambda: self._release(task), label=f"activate:{task.name}")
+            self.simulator.schedule(delay_us, lambda: self._release(task), label=task.label_activate)
 
     def send_to_queue(self, queue: MessageQueue, item: Any) -> bool:
         """Send to a queue from outside task context (e.g. from a device ISR)
@@ -159,18 +184,43 @@ class RTOSScheduler:
     # Releases
     # ------------------------------------------------------------------
     def _schedule_release(self, task: Task, when_us: int) -> None:
-        when_us = max(when_us, self.simulator.now)
-        self.simulator.schedule_at(
-            when_us, lambda: self._periodic_release(task), label=f"release:{task.name}"
+        # Direct clock-slot reads (here and in the other per-event methods
+        # below) skip the ``now`` property descriptor; SimClock is shared by
+        # both engines, so inherited methods stay seed-compatible.
+        now = self.simulator._clock._now_us
+        if when_us < now:
+            when_us = now
+        # One release event per task is in flight at a time, so the release
+        # closure is created once per task and the fired handle is recycled.
+        callback = task.release_callback
+        if callback is None:
+            # functools.partial dispatches in C — measurably cheaper than a
+            # closure frame at one release per task per period.
+            callback = task.release_callback = partial(self._periodic_release, task)
+        task.release_handle = self.simulator.schedule_at(
+            when_us, callback, 0, task.label_release, task.release_handle
         )
 
     def _periodic_release(self, task: Task) -> None:
         self._release(task)
-        assert task.period_us is not None
-        self._schedule_release(task, self.simulator.now + task.period_us)
+        # Inlined _schedule_release for the steady-state periodic path: the
+        # release callback and handle already exist (this method only fires
+        # from an event _schedule_release armed), and now + period can never
+        # be in the past, so neither the clamp nor the callback check is
+        # needed.  The seed scheduler overrides this with the pre-rebuild
+        # body.
+        simulator = self.simulator
+        task.release_handle = simulator.schedule_at(
+            simulator._clock._now_us + task.period_us,
+            task.release_callback,
+            0,
+            task.label_release,
+            task.release_handle,
+        )
 
     def _release(self, task: Task) -> None:
-        if task.current_job is not None and not task.current_job.finished:
+        current = task.current_job
+        if current is not None and not current.finished:
             # Previous activation still in progress: skip this release (and
             # count it as a deadline miss).  Under heavy interference this is
             # what starves the CODE(M) thread in implementation scheme 3.
@@ -180,34 +230,47 @@ class RTOSScheduler:
             # (pinned by TestDeadlineMissAccounting).
             task.stats.deadline_misses += 1
             return
-        job = Job(task, task.job_factory(), self.simulator.now, self._job_sequence)
-        self._job_sequence += 1
+        sequence = self._job_sequence
+        self._job_sequence = sequence + 1
+        job = Job(task, task.job_factory(), self.simulator._clock._now_us, sequence)
         task.current_job = job
         task.stats.activations += 1
-        task.state = TaskState.READY
-        self._make_ready(job)
-        self._schedule_dispatch()
+        task.state = _READY
+        self._ready.append(job)
+        # A dispatch round is only needed when the new job can actually take
+        # the CPU: between rounds no *other* ready job outranks the running
+        # one (every ready insertion triggers this same check), so a release
+        # that doesn't outrank it leaves the round a guaranteed no-op.
+        running = self._running
+        if self._in_dispatch:
+            self._dispatch_again = True
+        elif running is None or task.priority > running.task.priority:
+            self._schedule_dispatch()
 
     # ------------------------------------------------------------------
     # Ready queue management
     # ------------------------------------------------------------------
     def _make_ready(self, job: Job, front: bool = False) -> None:
-        job.task.state = TaskState.READY
+        job.task.state = _READY
         if front:
             self._ready.insert(0, job)
         else:
             self._ready.append(job)
 
     def _pop_ready(self) -> Optional[Job]:
-        if not self._ready:
+        ready = self._ready
+        if not ready:
             return None
+        if len(ready) == 1:
+            return ready.pop()
         best_index = 0
-        best_priority = self._ready[0].task.priority
-        for index, job in enumerate(self._ready[1:], start=1):
-            if job.task.priority > best_priority:
-                best_priority = job.task.priority
+        best_priority = ready[0].task.priority
+        for index in range(1, len(ready)):
+            priority = ready[index].task.priority
+            if priority > best_priority:
+                best_priority = priority
                 best_index = index
-        return self._ready.pop(best_index)
+        return ready.pop(best_index)
 
     def _highest_ready_priority(self) -> Optional[int]:
         if not self._ready:
@@ -215,58 +278,79 @@ class RTOSScheduler:
         return max(job.task.priority for job in self._ready)
 
     def _higher_priority_ready(self, priority: int) -> bool:
-        highest = self._highest_ready_priority()
-        return highest is not None and highest > priority
+        ready = self._ready
+        if not ready:
+            return False
+        for job in ready:
+            if job.task.priority > priority:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Dispatching
     # ------------------------------------------------------------------
     def _schedule_dispatch(self) -> None:
+        # The dispatch round is inlined here (the seed code factored it into a
+        # separate _dispatch_once) — it runs once per release/wake/completion,
+        # which makes the extra call frame measurable in the hot loop.
         if self._in_dispatch:
             self._dispatch_again = True
             return
         self._in_dispatch = True
         try:
+            ready = self._ready
             while True:
                 self._dispatch_again = False
-                self._dispatch_once()
+                running = self._running
+                if running is None:
+                    while self._running is None and ready:
+                        self._run_job(ready.pop() if len(ready) == 1 else self._pop_ready())
+                else:
+                    # Inline _higher_priority_ready: this is the per-wake /
+                    # per-release fast exit, so the extra frame is measurable.
+                    priority = running.task.priority
+                    for job in ready:
+                        if job.task.priority > priority:
+                            self._preempt(running)
+                            while self._running is None and ready:
+                                self._run_job(ready.pop() if len(ready) == 1 else self._pop_ready())
+                            break
                 if not self._dispatch_again:
                     break
         finally:
             self._in_dispatch = False
 
-    def _dispatch_once(self) -> None:
-        if self._running is not None:
-            if self._higher_priority_ready(self._running.task.priority):
-                self._preempt(self._running)
-            else:
-                return
-        while self._running is None:
-            job = self._pop_ready()
-            if job is None:
-                return
-            self._run_job(job)
-
     def _run_job(self, job: Job) -> None:
         """Advance ``job`` until it starts a compute segment, blocks or finishes."""
-        task = job.task
+        # _higher_priority_ready and _make_ready are inlined below: this loop
+        # runs once per directive, and the ready list is empty or one deep on
+        # almost every check.  ``ready`` aliases self._ready, which is mutated
+        # in place but never rebound.
+        priority = job.task.priority
+        ready = self._ready
         while True:
-            if job.pending_compute_us is None:
+            pending = job.pending_compute_us
+            if pending is None:
                 status = self._advance(job)
                 if status == "finished" or status == "blocked":
                     return
                 if status == "continue":
-                    if self._higher_priority_ready(task.priority):
-                        self._make_ready(job, front=True)
-                        return
+                    for other in ready:
+                        if other.task.priority > priority:
+                            job.task.state = _READY
+                            ready.insert(0, job)
+                            return
                     continue
-                # status == "compute": fall through with pending segment set
-            if job.pending_compute_us == 0:
+                # status == "compute": the handler set the pending segment
+                pending = job.pending_compute_us
+            if pending == 0:
                 job.pending_compute_us = None
                 continue
-            if self._higher_priority_ready(task.priority):
-                self._make_ready(job, front=True)
-                return
+            for other in ready:
+                if other.task.priority > priority:
+                    job.task.state = _READY
+                    ready.insert(0, job)
+                    return
             self._start_compute(job)
             return
 
@@ -275,6 +359,11 @@ class RTOSScheduler:
 
         Returns one of ``"compute"``, ``"blocked"``, ``"finished"`` or
         ``"continue"`` (zero-time directive handled, keep advancing).
+
+        This stays a single instance method — rather than being inlined into
+        :meth:`_run_job` — because the fault-injection layer wraps
+        ``scheduler._advance`` on the instance to inflate compute segments.
+        Directive handling itself goes through a type-keyed dispatch table.
         """
         try:
             directive = job.generator.send(job.send_value)
@@ -282,52 +371,67 @@ class RTOSScheduler:
             self._finish_job(job)
             return "finished"
         job.send_value = None
-
-        if isinstance(directive, Compute):
+        cls = directive.__class__
+        if cls is Compute:
+            # Compute is the dominant directive; handling it inline skips the
+            # table lookup and handler call.  Fault wrappers are unaffected —
+            # they wrap _advance itself and see the returned status.
             job.pending_compute_us = directive.duration_us
             job.pending_label = directive.label
             return "compute"
+        handler = self._directive_handlers.get(cls)
+        if handler is None:
+            for base, candidate in list(self._directive_handlers.items()):
+                if isinstance(directive, base):
+                    handler = self._directive_handlers[directive.__class__] = candidate
+                    break
+            else:
+                raise SchedulerError(
+                    f"task {job.task.name!r} yielded unsupported directive {directive!r}"
+                )
+        return handler(job, directive)
 
-        if isinstance(directive, Delay):
-            self._block_for_delay(job, directive.duration_us)
-            return "blocked"
+    def _handle_compute(self, job: Job, directive: Compute) -> str:
+        job.pending_compute_us = directive.duration_us
+        job.pending_label = directive.label
+        return "compute"
 
-        if isinstance(directive, Send):
-            job.send_value = directive.queue.send(directive.item)
-            if job.send_value:
-                self._wake_queue_waiter(directive.queue)
+    def _handle_delay(self, job: Job, directive: Delay) -> str:
+        self._block_for_delay(job, directive.duration_us)
+        return "blocked"
+
+    def _handle_send(self, job: Job, directive: Send) -> str:
+        job.send_value = directive.queue.send(directive.item)
+        if job.send_value:
+            self._wake_queue_waiter(directive.queue)
+        return "continue"
+
+    def _handle_receive(self, job: Job, directive: Receive) -> str:
+        message = directive.queue.receive_nowait()
+        if message is not None:
+            job.send_value = message
             return "continue"
-
-        if isinstance(directive, Receive):
-            message = directive.queue.receive_nowait()
-            if message is not None:
-                job.send_value = message
-                return "continue"
-            if directive.timeout_us == 0:
-                job.send_value = None
-                return "continue"
-            self._block_on_queue(job, directive.queue, directive.timeout_us)
-            return "blocked"
-
-        if isinstance(directive, Give):
-            job.send_value = directive.semaphore.give()
-            if job.send_value:
-                self._wake_semaphore_waiter(directive.semaphore)
+        if directive.timeout_us == 0:
+            job.send_value = None
             return "continue"
+        self._block_on_queue(job, directive.queue, directive.timeout_us)
+        return "blocked"
 
-        if isinstance(directive, Take):
-            if directive.semaphore.try_take():
-                job.send_value = True
-                return "continue"
-            if directive.timeout_us == 0:
-                job.send_value = False
-                return "continue"
-            self._block_on_semaphore(job, directive.semaphore, directive.timeout_us)
-            return "blocked"
+    def _handle_give(self, job: Job, directive: Give) -> str:
+        job.send_value = directive.semaphore.give()
+        if job.send_value:
+            self._wake_semaphore_waiter(directive.semaphore)
+        return "continue"
 
-        raise SchedulerError(
-            f"task {job.task.name!r} yielded unsupported directive {directive!r}"
-        )
+    def _handle_take(self, job: Job, directive: Take) -> str:
+        if directive.semaphore.try_take():
+            job.send_value = True
+            return "continue"
+        if directive.timeout_us == 0:
+            job.send_value = False
+            return "continue"
+        self._block_on_semaphore(job, directive.semaphore, directive.timeout_us)
+        return "blocked"
 
     # ------------------------------------------------------------------
     # Compute segments
@@ -336,30 +440,38 @@ class RTOSScheduler:
         task = job.task
         if self._last_dispatched_task is not task and self.context_switch_us:
             job.pending_compute_us = (job.pending_compute_us or 0) + self.context_switch_us
-        job.segment_started_at_us = self.simulator.now
+        simulator = self.simulator
+        job.segment_started_at_us = simulator._clock._now_us
         self._running = job
-        task.state = TaskState.RUNNING
+        task.state = _RUNNING
         self._last_dispatched_task = task
-        job.completion_handle = self.simulator.schedule(
-            job.pending_compute_us or 0,
-            lambda: self._complete_segment(job),
-            label=f"compute:{task.name}",
+        # The completion callback is a pre-bound method rather than a per-
+        # segment closure: a live completion event always belongs to the
+        # currently running job (preemption cancels the handle before any
+        # other job can run), so the callback looks the job up on fire.
+        spare = self._completion_spare
+        self._completion_spare = None
+        job.completion_handle = simulator.schedule(
+            job.pending_compute_us or 0, self._complete_running, 0, task.label_compute, spare
         )
 
-    def _complete_segment(self, job: Job) -> None:
+    def _complete_running(self) -> None:
+        # One compute completion per segment: _complete_segment and
+        # _make_ready are inlined (the seed scheduler keeps the factored
+        # methods).
+        job = self._running
+        self._completion_spare = job.completion_handle
         task = job.task
-        started = (
-            job.segment_started_at_us
-            if job.segment_started_at_us is not None
-            else self.simulator.now
-        )
-        task.stats.cpu_time_us += self.simulator.now - started
+        now = self.simulator._clock._now_us
+        started = job.segment_started_at_us
+        task.stats.cpu_time_us += now - (started if started is not None else now)
         job.pending_compute_us = None
         job.segment_started_at_us = None
         job.completion_handle = None
         job.send_value = None
         self._running = None
-        self._make_ready(job, front=True)
+        task.state = _READY
+        self._ready.insert(0, job)
         self._schedule_dispatch()
 
     def _preempt(self, job: Job) -> None:
@@ -367,12 +479,9 @@ class RTOSScheduler:
         if job.completion_handle is not None:
             job.completion_handle.cancel()
             job.completion_handle = None
-        started = (
-            job.segment_started_at_us
-            if job.segment_started_at_us is not None
-            else self.simulator.now
-        )
-        elapsed = self.simulator.now - started
+        now = self.simulator._clock._now_us
+        started = job.segment_started_at_us
+        elapsed = now - (started if started is not None else now)
         task.stats.cpu_time_us += elapsed
         task.stats.preemptions += 1
         job.pending_compute_us = max(0, (job.pending_compute_us or 0) - elapsed)
@@ -384,32 +493,32 @@ class RTOSScheduler:
     # Blocking
     # ------------------------------------------------------------------
     def _block_for_delay(self, job: Job, duration_us: int) -> None:
-        job.task.state = TaskState.BLOCKED
+        job.task.state = _BLOCKED
         job.blocked_on = "delay"
         job.timeout_handle = self.simulator.schedule(
-            duration_us, lambda: self._wake(job, None), label=f"delay:{job.task.name}"
+            duration_us, lambda: self._wake(job, None), label=job.task.label_delay
         )
 
     def _block_on_queue(self, job: Job, queue: MessageQueue, timeout_us: Optional[int]) -> None:
-        job.task.state = TaskState.BLOCKED
+        job.task.state = _BLOCKED
         job.blocked_on = queue
         queue.add_waiter(job)
         if timeout_us is not None:
             job.timeout_handle = self.simulator.schedule(
                 timeout_us,
                 lambda: self._timeout_queue_wait(job, queue),
-                label=f"qtimeout:{job.task.name}",
+                label=job.task.label_qtimeout,
             )
 
     def _block_on_semaphore(self, job: Job, semaphore: Semaphore, timeout_us: Optional[int]) -> None:
-        job.task.state = TaskState.BLOCKED
+        job.task.state = _BLOCKED
         job.blocked_on = semaphore
         semaphore.add_waiter(job)
         if timeout_us is not None:
             job.timeout_handle = self.simulator.schedule(
                 timeout_us,
                 lambda: self._timeout_semaphore_wait(job, semaphore),
-                label=f"stimeout:{job.task.name}",
+                label=job.task.label_stimeout,
             )
 
     def _timeout_queue_wait(self, job: Job, queue: MessageQueue) -> None:
@@ -458,14 +567,15 @@ class RTOSScheduler:
     # ------------------------------------------------------------------
     def _finish_job(self, job: Job) -> None:
         task = job.task
+        stats = task.stats
         job.finished = True
         task.current_job = None
-        task.stats.completions += 1
-        response = self.simulator.now - job.release_time_us
-        task.stats.response_times_us.append(response)
+        stats.completions += 1
+        response = self.simulator._clock._now_us - job.release_time_us
+        stats.response_times_us.append(response)
         if task.deadline_us is not None and response > task.deadline_us:
-            task.stats.deadline_misses += 1
-        task.state = TaskState.WAITING if task.is_periodic else TaskState.DORMANT
+            stats.deadline_misses += 1
+        task.state = task.finish_state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         running = self._running.task.name if self._running else None

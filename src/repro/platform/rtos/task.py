@@ -96,6 +96,23 @@ class Task:
         self.state = TaskState.DORMANT
         self.stats = TaskStats()
         self.current_job: Optional["Job"] = None
+        # Kernel-event labels, precomputed once.  The scheduler schedules
+        # thousands of events per run; formatting these per call showed up in
+        # dispatch profiles.
+        self.label_compute = f"compute:{name}"
+        self.label_delay = f"delay:{name}"
+        self.label_release = f"release:{name}"
+        self.label_activate = f"activate:{name}"
+        self.label_qtimeout = f"qtimeout:{name}"
+        self.label_stimeout = f"stimeout:{name}"
+        # Scheduler-owned release plumbing: the periodic-release closure is
+        # created once per task, and the fired release event handle is
+        # recycled (see Simulator.schedule's ``reuse`` contract).
+        self.release_callback: Optional[Callable[[], None]] = None
+        self.release_handle: Any = None
+        # State a finished job leaves the task in — fixed at construction
+        # (periodicity never changes), read once per job completion.
+        self.finish_state = TaskState.WAITING if period_us is not None else TaskState.DORMANT
 
     @property
     def is_periodic(self) -> bool:

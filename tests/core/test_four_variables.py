@@ -235,8 +235,8 @@ class TestRecorder:
 
     def test_meta_attached(self):
         recorder = TraceRecorder(lambda: 0)
-        event = recorder.record_m("m-X", True, device="button")
-        assert event.meta["device"] == "button"
+        recorder.record_m("m-X", True, device="button")
+        assert recorder.trace[-1].meta["device"] == "button"
 
     def test_reset_starts_new_trace(self):
         recorder = TraceRecorder(lambda: 0)

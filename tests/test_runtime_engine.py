@@ -1,0 +1,403 @@
+"""Equivalence tests for the rebuilt runtime engine.
+
+The hot-loop rebuild (batched kernel dispatch, columnar traces, the compiled-C
+SUT backend) claims *byte identity*: same seeds, same serialized reports, bit
+for bit.  These tests prove it against the frozen seed implementations in
+``repro._reference.seed_engine`` and against the Python CODE(M) executor:
+
+* whole R-/M-test runs on every requirement scenario × all three schemes,
+  comparing ``to_json`` output (with full traces) across engines;
+* kernel dispatch order under adversarial scheduling (same-instant
+  insertions from callbacks, priorities, cancellations, interleaved
+  ``run_until``/``run``);
+* columnar ``Trace`` vs the object-per-event ``SeedTrace`` across the whole
+  query surface on randomized event streams;
+* the compiled-C backend in lockstep with the Python executor and across
+  whole scheme runs (skipped without a host C compiler), plus its graceful
+  degradation path and the backend field's serialization/key stability.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro._reference import SEED_ENGINE
+from repro._reference.seed_engine import SeedSimulator, SeedTrace
+from repro.campaign.results import RunRecord
+from repro.campaign.spec import RunSpec
+from repro.campaign.worker import execute_run
+from repro.codegen import c_backend
+from repro.codegen.c_backend import (
+    BackendUnavailable,
+    CompiledGeneratedCode,
+    check_compilable,
+    find_c_compiler,
+    resolve_backend,
+)
+from repro.codegen.generated import GeneratedCode
+from repro.codegen.generator import generate_code
+from repro.core.four_variables import Event, EventKind, Trace, TraceRecorder
+from repro.core.m_testing import MTestAnalyzer
+from repro.core.r_testing import execute_r_test
+from repro.core.serialization import m_report_to_dict, r_report_to_json
+from repro.gpca.interface import build_pump_interface
+from repro.gpca.model import build_fig2_statechart
+from repro.gpca.pump import ALL_SCHEMES, build_scheme_system
+from repro.gpca.scenarios import all_requirement_test_cases
+from repro.platform.kernel.simulator import SimulationError, Simulator
+from repro.store.keys import run_key
+
+requires_cc = pytest.mark.skipif(
+    find_c_compiler() is None, reason="no host C compiler available"
+)
+
+#: Small sample counts keep the full cross-product affordable; identity either
+#: holds on every event or it doesn't.
+SAMPLES = 2
+CASES = all_requirement_test_cases(SAMPLES, seed=0)
+CASE_IDS = [case.name for case in CASES]
+
+
+def _run_case(case, scheme, *, engine=None, code_factory=None):
+    def factory():
+        return build_scheme_system(
+            scheme, seed=1234, engine=engine, code_factory=code_factory
+        )
+
+    return execute_r_test(factory, case)
+
+
+class TestReportByteIdentity:
+    """Whole-run byte identity: optimised engine vs the frozen seed engine."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_r_reports_identical(self, scheme, case):
+        optimised = _run_case(case, scheme)
+        seed_path = _run_case(case, scheme, engine=SEED_ENGINE)
+        assert r_report_to_json(optimised, include_trace=True) == r_report_to_json(
+            seed_path, include_trace=True
+        )
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+    def test_m_reports_identical(self, scheme, case):
+        optimised = _run_case(case, scheme)
+        seed_path = _run_case(case, scheme, engine=SEED_ENGINE)
+        analyzer = MTestAnalyzer(build_pump_interface(), case.requirement)
+        assert m_report_to_dict(
+            analyzer.analyze(optimised.trace, sut_name=optimised.sut_name)
+        ) == m_report_to_dict(
+            analyzer.analyze(seed_path.trace, sut_name=seed_path.sut_name)
+        )
+
+
+class TestKernelDispatchOrder:
+    """The batched kernel fires the exact sequence the seed kernel fires."""
+
+    @staticmethod
+    def _drive(simulator_class, seed):
+        """Adversarial workload: callbacks insert same-instant higher-priority
+        events, cancel pending handles, and the horizon advances in chunks."""
+        simulator = simulator_class()
+        rng = random.Random(seed)
+        fired = []
+        pending = []
+        counter = [0]
+
+        def make_callback():
+            counter[0] += 1
+            identity = counter[0]
+
+            def callback():
+                fired.append((simulator.now, identity))
+                for _ in range(rng.randrange(0, 3)):
+                    delay = rng.choice([0, 0, 1, 7, 130])
+                    priority = rng.randrange(-2, 3)
+                    pending.append(
+                        simulator.schedule(
+                            delay, make_callback(), priority=priority, label="gen"
+                        )
+                    )
+                if pending and rng.random() < 0.35:
+                    pending[rng.randrange(len(pending))].cancel()
+
+            return callback
+
+        for _ in range(25):
+            pending.append(
+                simulator.schedule(
+                    rng.randrange(0, 400),
+                    make_callback(),
+                    priority=rng.randrange(-2, 3),
+                    label="root",
+                )
+            )
+        horizon = 0
+        for _ in range(6):
+            horizon += rng.randrange(50, 300)
+            simulator.run_until(horizon)
+            fired.append(("clock", simulator.now))
+        simulator.run(max_events=100_000)
+        fired.append(("final", simulator.now, simulator.events_processed))
+        return fired
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+    def test_dispatch_sequence_matches_seed_kernel(self, seed):
+        assert self._drive(Simulator, seed) == self._drive(SeedSimulator, seed)
+
+    def test_livelock_guard_matches_seed_kernel(self):
+        def build(simulator_class):
+            simulator = simulator_class()
+
+            def rearm():
+                simulator.schedule(0, rearm)
+
+            simulator.schedule(0, rearm)
+            return simulator
+
+        for simulator_class in (Simulator, SeedSimulator):
+            with pytest.raises(SimulationError):
+                build(simulator_class).run(max_events=100)
+
+
+def _random_events(seed, count=400):
+    rng = random.Random(seed)
+    kinds = list(EventKind)
+    variables = ["m-A", "m-B", "c-X", "i-A", "o-X", "t1"]
+    timestamp = 0
+    events = []
+    for _ in range(count):
+        timestamp += rng.choice([0, 0, 1, 3, 50])
+        meta = {"n": rng.randrange(3)} if rng.random() < 0.3 else {}
+        events.append(
+            Event(rng.choice(kinds), rng.choice(variables), rng.randrange(4), timestamp, meta)
+        )
+    return events
+
+
+class TestColumnarTraceEquivalence:
+    """Columnar Trace answers every query exactly like the seed trace."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 99])
+    def test_query_surface_matches_seed_trace(self, seed):
+        events = _random_events(seed)
+        columnar = Trace(events)
+        reference = SeedTrace(events)
+        assert len(columnar) == len(reference)
+        assert list(columnar) == list(reference)
+        assert list(columnar.events) == list(reference.events)
+        assert columnar.duration_us == reference.duration_us
+        assert columnar[0] == reference[0]
+        assert columnar[-1] == reference[-1]
+        assert columnar[10:20] == reference[10:20]
+        final = events[-1].timestamp_us
+        windows = [(None, None), (0, final // 2), (final // 3, final), (final + 1, None)]
+        for after_us, before_us in windows:
+            for kind in (None, EventKind.M, EventKind.C):
+                for variable in (None, "m-A", "c-X", "missing"):
+                    assert columnar.select(
+                        kind, variable, after_us=after_us, before_us=before_us
+                    ) == reference.select(
+                        kind, variable, after_us=after_us, before_us=before_us
+                    )
+                    assert columnar.first(
+                        kind, variable, after_us=after_us, before_us=before_us
+                    ) == reference.first(
+                        kind, variable, after_us=after_us, before_us=before_us
+                    )
+            assert columnar.select_kinds(
+                [EventKind.M, EventKind.C], after_us=after_us, before_us=before_us
+            ) == reference.select_kinds(
+                [EventKind.M, EventKind.C], after_us=after_us, before_us=before_us
+            )
+        for kind in (EventKind.M, EventKind.C):
+            for variable in ("m-A", "c-X"):
+                assert columnar.value_changes(kind, variable) == reference.value_changes(
+                    kind, variable
+                )
+        assert list(columnar.restricted_to([EventKind.M, EventKind.C])) == list(
+            reference.restricted_to([EventKind.M, EventKind.C])
+        )
+
+    def test_recorder_fast_path_equals_object_path(self):
+        clock = {"value": 0}
+        recorder = TraceRecorder(lambda: clock["value"])
+        recorder.record_m("m-A", True, device="button")
+        clock["value"] = 10
+        recorder.record_i("i-A", True)
+        recorder.record_o("o-X", 1)
+        recorder.record_c("c-X", 1, device="motor")
+        recorder.record_transition_start("t1")
+        recorder.record_transition_end("t1")
+        raw = list(recorder.trace)
+        rebuilt = Trace(raw)
+        assert list(rebuilt) == raw
+        assert recorder.trace.select(EventKind.C)[0].meta == {"device": "motor"}
+        # Materialised events are cached: repeated access returns the object.
+        assert recorder.trace[0] is recorder.trace[0]
+
+    def test_out_of_order_append_rejected_on_both_paths(self):
+        trace = Trace()
+        trace._append_raw(EventKind.M, "m-A", 1, 100, None)
+        with pytest.raises(ValueError):
+            trace._append_raw(EventKind.M, "m-A", 1, 99, None)
+        with pytest.raises(ValueError):
+            trace.append(Event(EventKind.M, "m-A", 1, 50))
+
+
+@pytest.fixture(scope="module")
+def fig2_artifacts():
+    return generate_code(build_fig2_statechart())
+
+
+class TestCompiledBackend:
+    """The compiled-C executor is observably identical to the Python one."""
+
+    @requires_cc
+    def test_lockstep_with_python_executor(self, fig2_artifacts):
+        python_code = GeneratedCode(fig2_artifacts.code_model)
+        compiled = CompiledGeneratedCode(fig2_artifacts.code_model)
+        rng = random.Random(7)
+        inputs = fig2_artifacts.code_model.input_names
+        for _ in range(300):
+            action = rng.randrange(3)
+            if action == 0:
+                name = rng.choice(inputs)
+                python_code.set_input(name)
+                compiled.set_input(name)
+            elif action == 1:
+                ticks = rng.choice([1, 5, 40])
+                python_code.advance_clock(ticks)
+                compiled.advance_clock(ticks)
+            else:
+                python_row = python_code.enabled_transition()
+                compiled_row = compiled.enabled_transition()
+                assert (python_row is None) == (compiled_row is None)
+                if python_row is not None:
+                    assert python_row.index == compiled_row.index
+                python_firings = python_code.scan()
+                compiled_firings = compiled.scan()
+                assert [f.transition.index for f in python_firings] == [
+                    f.transition.index for f in compiled_firings
+                ]
+                assert [f.writes for f in python_firings] == [
+                    f.writes for f in compiled_firings
+                ]
+            assert python_code.state_index == compiled.state_index
+            assert python_code.state_clock_ticks == compiled.state_clock_ticks
+            assert python_code.outputs == compiled.outputs
+            assert python_code.inputs == compiled.inputs
+            compiled.crosscheck()
+
+    @requires_cc
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_scheme_runs_byte_identical(self, scheme, fig2_artifacts):
+        resolution = resolve_backend("c", fig2_artifacts)
+        assert resolution.effective == "c" and resolution.reason is None
+        case = CASES[0]
+        compiled_report = _run_case(case, scheme, code_factory=resolution.code_factory)
+        python_report = _run_case(case, scheme)
+        assert r_report_to_json(compiled_report, include_trace=True) == r_report_to_json(
+            python_report, include_trace=True
+        )
+
+    @requires_cc
+    def test_worker_records_effective_c_backend(self):
+        spec = RunSpec(
+            index=0, scheme=1, case="bolus-request", samples=SAMPLES,
+            case_seed=7, sut_seed=11, m_test="none", backend="c",
+        )
+        record = execute_run(spec)
+        assert record.backend_payload == {"requested": "c", "effective": "c"}
+        python_record = execute_run(
+            RunSpec(
+                index=0, scheme=1, case="bolus-request", samples=SAMPLES,
+                case_seed=7, sut_seed=11, m_test="none",
+            )
+        )
+        assert record.r_payload == python_record.r_payload
+
+    def test_degrades_cleanly_without_compiler(self, monkeypatch, fig2_artifacts):
+        def unavailable(model, compiler=None):
+            raise BackendUnavailable("no C compiler found on PATH (tried cc, gcc, clang)")
+
+        monkeypatch.setattr(c_backend, "compile_harness", unavailable)
+        resolution = resolve_backend("c", fig2_artifacts)
+        assert resolution.requested == "c"
+        assert resolution.effective == "python"
+        assert "no C compiler" in resolution.reason
+        assert resolution.code_factory is None
+
+    def test_degradation_recorded_in_run_record(self, monkeypatch):
+        def unavailable(model, compiler=None):
+            raise BackendUnavailable("no C compiler found on PATH (tried cc, gcc, clang)")
+
+        monkeypatch.setattr(c_backend, "compile_harness", unavailable)
+        spec = RunSpec(
+            index=0, scheme=1, case="bolus-request", samples=SAMPLES,
+            case_seed=7, sut_seed=11, m_test="none", backend="c",
+        )
+        record = execute_run(spec)
+        assert record.backend_payload["effective"] == "python"
+        assert "no C compiler" in record.backend_payload["reason"]
+        # The degraded run still produced the canonical Python-path payload.
+        python_record = execute_run(
+            RunSpec(
+                index=0, scheme=1, case="bolus-request", samples=SAMPLES,
+                case_seed=7, sut_seed=11, m_test="none",
+            )
+        )
+        assert record.r_payload == python_record.r_payload
+        # And the payload round-trips with the backend field intact.
+        assert RunRecord.from_dict(record.to_dict()).to_dict() == record.to_dict()
+
+    def test_unknown_backend_rejected(self, fig2_artifacts):
+        with pytest.raises(ValueError):
+            resolve_backend("fortran", fig2_artifacts)
+
+    def test_charts_with_guards_are_rejected(self, fig2_artifacts):
+        import dataclasses
+
+        model = fig2_artifacts.code_model
+        assert check_compilable(model) is None
+        guarded = dataclasses.replace(model.transitions[0], guard=lambda context: True)
+        patched = dataclasses.replace(
+            model, transitions=[guarded] + list(model.transitions[1:])
+        )
+        reason = check_compilable(patched)
+        assert reason is not None and "guard" in reason
+
+
+class TestBackendSpecStability:
+    """The backend field never perturbs pre-backend serialized forms or keys."""
+
+    def _spec(self, **overrides):
+        fields = dict(
+            index=3, scheme=2, case="bolus-request", samples=4, case_seed=5, sut_seed=6
+        )
+        fields.update(overrides)
+        return RunSpec(**fields)
+
+    def test_default_backend_omitted_from_dict(self):
+        payload = self._spec().to_dict()
+        assert "backend" not in payload
+        assert RunSpec.from_dict(payload).backend == "python"
+
+    def test_c_backend_round_trips(self):
+        payload = self._spec(backend="c").to_dict()
+        assert payload["backend"] == "c"
+        assert RunSpec.from_dict(payload) == self._spec(backend="c")
+
+    def test_store_keys_stable_for_python_and_distinct_for_c(self):
+        default_key = run_key(self._spec())
+        explicit_python = run_key(self._spec(backend="python"))
+        compiled = run_key(self._spec(backend="c"))
+        assert default_key == explicit_python
+        assert compiled != default_key
+        # Keys ignore grid position, with or without the backend field.
+        assert run_key(self._spec(index=99)) == default_key
+        assert run_key(self._spec(index=99, backend="c")) == compiled
