@@ -1,0 +1,160 @@
+"""Benchmark: the three system packs through the full layered pipeline.
+
+For every registered pack (the GPCA pump, the rate-adaptive pacemaker and
+the cruise/AEB controller) this benchmark records:
+
+* **campaign throughput** — runs per second of a scheme-2 R+M campaign over
+  the pack's entire fixed-scenario inventory;
+* **exploration cost** — how many coverage-guided episodes the stock
+  explorer needs to reach *full* chart transition coverage of the pack's
+  scenario space at seed 0;
+* **detection power** — the kill-matrix verdict of a fast per-pack
+  sub-matrix (two fault plans x the pack's killable mutants x one
+  scenario), asserting at least one killed mutant per pack.
+
+Results land in ``BENCH_systems.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro.campaign import ArtifactCache, CampaignRunner
+from repro.campaign.spec import CampaignSpec, CasePoint, SchemePoint
+from repro.faults.matrix import default_matrix_spec, run_kill_matrix
+from repro.scenarios import CoverageGuidedExplorer
+from repro.systems import iter_packs
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_systems.json"
+
+SAMPLES = 2
+SEED = 0
+
+#: Per-pack exploration budgets (episodes) and the mutants the pack's fixed
+#: scenarios are known to kill, with the scenario that kills them.
+EXPLORE_BUDGET = {"gpca": 30, "pacemaker": 60, "cruise": 40}
+KILL_TARGETS = {
+    "gpca": (("drop:t_start_infusion:0:o-MotorState",), "bolus-request"),
+    "pacemaker": (
+        ("retarget:t_sense_inhibit:MagnetTest", "drop:t_sense_inhibit:0:o-MarkerState"),
+        "sense-inhibit",
+    ),
+    "cruise": (
+        ("retarget:t_engage:Override", "drop:t_engage:0:o-ThrottleState"),
+        "engage",
+    ),
+}
+
+
+def campaign_throughput(pack):
+    spec = CampaignSpec(
+        name=f"bench-{pack.system_id}",
+        schemes=(SchemePoint(2),),
+        cases=tuple(
+            CasePoint(case, samples=SAMPLES, system=pack.system_id)
+            for case in sorted(pack.case_builders)
+        ),
+        base_seed=SEED,
+        model=pack.default_model,
+    )
+    started = time.perf_counter()
+    result = CampaignRunner(spec, workers=1).run()
+    seconds = time.perf_counter() - started
+    assert all(record.passed for record in result.records), (
+        f"{pack.system_id}: scheme-2 campaign must conform"
+    )
+    return {
+        "runs": len(result.records),
+        "seconds": round(seconds, 3),
+        "runs_per_second": round(len(result.records) / seconds, 2),
+    }
+
+
+def exploration_cost(pack):
+    artifacts = ArtifactCache().artifacts_for_model(pack.default_model)
+
+    def factory():
+        return pack.build_system(1, seed=11, artifacts=artifacts)
+
+    explorer = CoverageGuidedExplorer(
+        pack.scenario_space(), factory, artifacts.code_model, seed=SEED
+    )
+    budget = EXPLORE_BUDGET[pack.system_id]
+    started = time.perf_counter()
+    report = explorer.explore(budget)
+    seconds = time.perf_counter() - started
+    assert report.transition_coverage.ratio == 1.0, (
+        f"{pack.system_id}: uncovered {sorted(report.transition_coverage.uncovered)}"
+    )
+    to_full = next(
+        index + 1
+        for index, episode in enumerate(report.episodes)
+        if episode.transition_ratio_after == 1.0
+    )
+    return {
+        "budget": budget,
+        "episodes_to_full_coverage": to_full,
+        "transitions": len(report.transition_coverage.covered),
+        "seconds": round(seconds, 3),
+    }
+
+
+def detection_power(pack):
+    mutant_ids, case = KILL_TARGETS[pack.system_id]
+    spec = default_matrix_spec(samples=SAMPLES, base_seed=SEED, system=pack.system_id)
+    keep = tuple(m for m in spec.mutants if m.mutant_id in mutant_ids)
+    assert len(keep) == len(mutant_ids), f"{pack.system_id}: expected mutants missing"
+    spec = dataclasses.replace(
+        spec,
+        mutants=keep,
+        fault_plans=spec.fault_plans[:2],
+        cases=(case,),
+        fault_schemes=(2,),
+        mutant_schemes=(2,),
+    )
+    started = time.perf_counter()
+    matrix = run_kill_matrix(spec, workers=1)
+    seconds = time.perf_counter() - started
+    killed = sorted(matrix.killed_mutants())
+    assert killed, f"{pack.system_id}: no mutant killed"
+    return {
+        "runs": spec.size,
+        "seconds": round(seconds, 3),
+        "mutation_score": matrix.mutation_score,
+        "killed": killed,
+        "surviving": sorted(matrix.surviving_mutants()),
+        "detected_faults": sorted(matrix.detected_faults()),
+    }, matrix
+
+
+def test_system_packs_throughput_and_detection(write_artifact):
+    """Measure each pack end to end; record BENCH_systems.json."""
+    systems = {}
+    lines = []
+    for pack in iter_packs():
+        campaign = campaign_throughput(pack)
+        exploration = exploration_cost(pack)
+        detection, matrix = detection_power(pack)
+        systems[pack.system_id] = {
+            "title": pack.title,
+            "default_model": pack.default_model,
+            "campaign": campaign,
+            "exploration": exploration,
+            "detection": detection,
+        }
+        lines.extend(
+            [
+                f"{pack.system_id}: {campaign['runs']} runs at "
+                f"{campaign['runs_per_second']} runs/s; full coverage in "
+                f"{exploration['episodes_to_full_coverage']} episodes; "
+                f"mutation score {detection['mutation_score']:.0%}",
+                matrix.render(),
+            ]
+        )
+
+    payload = {"samples": SAMPLES, "seed": SEED, "systems": systems}
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    write_artifact("systems.txt", "\n".join(lines))

@@ -17,6 +17,9 @@ The package is organised by layer, mirroring the paper's methodology:
 * :mod:`repro.core` — the paper's contribution: the four-variable interface,
   R-testing and M-testing;
 * :mod:`repro.gpca` — the infusion-pump case study;
+* :mod:`repro.systems` — the system-pack registry: the GPCA pump, a
+  rate-adaptive cardiac pacemaker and an automotive cruise/AEB controller as
+  pluggable case studies (``repro systems`` on the command line);
 * :mod:`repro.baselines` — black-box online testing and functional-conformance
   baselines from the related work;
 * :mod:`repro.analysis` — statistics, Table I rendering and figure data;
@@ -57,9 +60,21 @@ Campaign quickstart (the Table I grid, sharded across four workers)::
     print(result.table_one().render())
 """
 
-from . import analysis, baselines, campaign, codegen, core, gpca, integration, model, platform, store
+from . import (
+    analysis,
+    baselines,
+    campaign,
+    codegen,
+    core,
+    gpca,
+    integration,
+    model,
+    platform,
+    store,
+    systems,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -73,4 +88,5 @@ __all__ = [
     "model",
     "platform",
     "store",
+    "systems",
 ]

@@ -23,17 +23,24 @@ from __future__ import annotations
 
 import functools
 import hashlib
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from ..codegen.generator import GeneratedArtifacts, generate_code
-from ..gpca.model import build_extended_statechart, build_fig2_statechart
 from ..model.statechart import Statechart
 
-#: Model name -> statechart builder (the models campaigns can target).
-MODEL_BUILDERS: Dict[str, Callable[[], Statechart]] = {
-    "fig2": build_fig2_statechart,
-    "extended": build_extended_statechart,
-}
+# Model name -> statechart builder, aggregated across every registered system
+# pack (the same live dict object as ``repro.systems.MODEL_BUILDERS``, kept
+# under its historical name here).  Model names are globally unique across
+# packs, so plain model names remain sufficient cache keys.
+from ..systems import MODEL_BUILDERS
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "ArtifactCache",
+    "chart_fingerprint",
+    "model_fingerprint",
+    "process_cache",
+]
 
 
 def _const_key(const) -> str:
@@ -189,7 +196,7 @@ class ArtifactCache:
             raise ValueError(f"unknown model {model!r} (known: {known})") from None
 
     def artifacts_for_model(self, model: str) -> GeneratedArtifacts:
-        """Artifacts for a named model ("fig2" / "extended")."""
+        """Artifacts for a named model of any registered pack ("fig2", ...)."""
         cached = self._by_model.get(model)
         if cached is not None:
             self.hits += 1

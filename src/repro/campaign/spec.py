@@ -28,15 +28,39 @@ if TYPE_CHECKING:  # imported lazily to keep campaign free of a faults dependenc
 from ..core.requirements import TimingRequirement
 from ..core.test_generation import RTestCase, Stimulus
 from .cache import MODEL_BUILDERS
-from ..gpca.scenarios import (
-    alarm_clear_test_case,
-    bolus_request_test_case,
-    empty_reservoir_alarm_test_case,
-    empty_reservoir_stop_test_case,
-    gpca_scenario_space,
-)
+from ..gpca.scenarios import gpca_scenario_space
 from ..platform.kernel.time import ms
 from ..scenarios import ScenarioProgram, ScenarioSampler
+from ..systems import DEFAULT_SYSTEM, get_pack, model_system
+from ..systems.gpca import EXTENDED_MODEL_SHIFT_US, GPCA_PACK
+
+__all__ = [
+    "BACKEND_C",
+    "BACKEND_PYTHON",
+    "CASE_BUILDERS",
+    "CampaignSpec",
+    "CasePoint",
+    "EXTENDED_MODEL_SHIFT_US",
+    "KNOWN_BACKENDS",
+    "KNOWN_MODELS",
+    "M_TEST_ALL",
+    "M_TEST_NONE",
+    "M_TEST_POLICIES",
+    "M_TEST_VIOLATIONS",
+    "PRESETS",
+    "RunSpec",
+    "SchemePoint",
+    "TABLE_ONE_SCHEME_SEEDS",
+    "build_case",
+    "case_requirement",
+    "derive_seed",
+    "full_grid_spec",
+    "interference_sweep_spec",
+    "period_sweep_spec",
+    "preset_spec",
+    "scenario_grid_spec",
+    "table_one_spec",
+]
 
 #: M-testing policies a campaign can request per run.
 M_TEST_ALL = "all"
@@ -71,37 +95,11 @@ def derive_seed(base_seed: int, *coordinates: object) -> int:
 # ----------------------------------------------------------------------
 # Scenario registry
 # ----------------------------------------------------------------------
-def _bolus(samples: int, seed: int) -> RTestCase:
-    return bolus_request_test_case(samples, seed=seed)
-
-
-def _empty_alarm(samples: int, seed: int) -> RTestCase:
-    return empty_reservoir_alarm_test_case(samples)
-
-
-def _empty_stop(samples: int, seed: int) -> RTestCase:
-    return empty_reservoir_stop_test_case(samples)
-
-
-def _alarm_clear(samples: int, seed: int) -> RTestCase:
-    return alarm_clear_test_case(samples)
-
-
-#: Scenario name -> builder.  Builders take (samples, seed); scenarios with a
-#: fixed deterministic schedule simply ignore the seed.
-CASE_BUILDERS: Dict[str, Callable[[int, int], RTestCase]] = {
-    "bolus-request": _bolus,
-    "empty-reservoir-alarm": _empty_alarm,
-    "empty-reservoir-stop": _empty_stop,
-    "alarm-clear": _alarm_clear,
-}
-
-
-#: How far to delay every stimulus when targeting the extended model, whose
-#: 500 ms power-on self test ignores events delivered before it completes
-#: (the stock schedules start at 150 ms, so +650 ms puts the first event at
-#: 800 ms — the offset the integration tests have always used).
-EXTENDED_MODEL_SHIFT_US = ms(650)
+#: Scenario name -> builder for the default system.  Builders take
+#: (samples, seed); scenarios with a fixed deterministic schedule simply
+#: ignore the seed.  Kept as a module constant for backwards compatibility —
+#: the authoritative per-system registry is ``get_pack(system).case_builders``.
+CASE_BUILDERS: Dict[str, Callable[[int, int], RTestCase]] = dict(GPCA_PACK.case_builders)
 
 
 def _shifted_case(case: RTestCase, delta_us: int) -> RTestCase:
@@ -116,28 +114,35 @@ def _shifted_case(case: RTestCase, delta_us: int) -> RTestCase:
     )
 
 
-def build_case(case: str, samples: int, seed: int, *, model: str = "fig2") -> RTestCase:
+def build_case(
+    case: str, samples: int, seed: int, *, model: str = "fig2", system: str = DEFAULT_SYSTEM
+) -> RTestCase:
     """Instantiate a named scenario's stimulus schedule (deterministic).
 
-    For the extended model the whole schedule is shifted past the power-on
-    self test — a stimulus delivered during the self test is ignored by the
-    model (and therefore by a conformant implementation), which would turn
-    into artifact MAX verdicts.
+    Models that declare a stimulus shift (e.g. the extended GPCA model, whose
+    power-on self test ignores early events) get their whole schedule delayed
+    by the pack-declared amount — a stimulus delivered during the self test is
+    ignored by the model (and therefore by a conformant implementation), which
+    would turn into artifact MAX verdicts.
     """
+    pack = get_pack(system)
     try:
-        builder = CASE_BUILDERS[case]
+        builder = pack.case_builders[case]
     except KeyError:
-        known = ", ".join(sorted(CASE_BUILDERS))
+        known = ", ".join(sorted(pack.case_builders))
         raise ValueError(f"unknown campaign scenario {case!r} (known: {known})") from None
     built = builder(samples, seed)
-    if model == "extended":
-        built = _shifted_case(built, EXTENDED_MODEL_SHIFT_US)
+    shift_us = pack.model_shifts_us.get(model)
+    if shift_us:
+        built = _shifted_case(built, shift_us)
     return built
 
 
-def case_requirement(case: str, samples: int = 1, seed: int = 0) -> TimingRequirement:
+def case_requirement(
+    case: str, samples: int = 1, seed: int = 0, *, system: str = DEFAULT_SYSTEM
+) -> TimingRequirement:
     """The timing requirement a named scenario is judged against."""
-    return build_case(case, samples, seed).requirement
+    return build_case(case, samples, seed, system=system).requirement
 
 
 # ----------------------------------------------------------------------
@@ -189,26 +194,35 @@ class CasePoint:
     seed: Optional[int] = None
     #: Scenario-DSL program backing this point (``case`` must be its name).
     program: Optional[ScenarioProgram] = None
+    #: Registered system pack this scenario exercises.
+    system: str = DEFAULT_SYSTEM
 
     def __post_init__(self) -> None:
+        pack = get_pack(self.system)
         if self.program is not None:
             if self.case != self.program.name:
                 raise ValueError(
                     f"case point name {self.case!r} does not match its program "
                     f"{self.program.name!r}"
                 )
-        elif self.case not in CASE_BUILDERS:
-            known = ", ".join(sorted(CASE_BUILDERS))
+        elif self.case not in pack.case_builders:
+            known = ", ".join(sorted(pack.case_builders))
             raise ValueError(f"unknown campaign scenario {self.case!r} (known: {known})")
         if self.samples <= 0:
             raise ValueError("sample count must be positive")
 
     @classmethod
     def for_program(
-        cls, program: ScenarioProgram, *, seed: Optional[int] = None
+        cls,
+        program: ScenarioProgram,
+        *,
+        seed: Optional[int] = None,
+        system: str = DEFAULT_SYSTEM,
     ) -> "CasePoint":
         """A case point for a scenario-DSL program (name and samples from it)."""
-        return cls(case=program.name, samples=program.samples, seed=seed, program=program)
+        return cls(
+            case=program.name, samples=program.samples, seed=seed, program=program, system=system
+        )
 
 
 # ----------------------------------------------------------------------
@@ -236,11 +250,14 @@ class RunSpec:
     mutant: Optional["MutantSpec"] = None
     #: SUT backend executing CODE(M) ("python" or "c").
     backend: str = BACKEND_PYTHON
+    #: Registered system pack whose SUT this run executes.
+    system: str = DEFAULT_SYSTEM
 
     @property
     def label(self) -> str:
         point = SchemePoint(self.scheme, self.period_us, self.interference_scale)
-        label = f"{point.label}/{self.case}"
+        case = self.case if self.system == DEFAULT_SYSTEM else f"{self.system}:{self.case}"
+        label = f"{point.label}/{case}"
         if self.faults is not None and not self.faults.empty:
             label += f"+{self.faults.name}"
         if self.mutant is not None:
@@ -251,10 +268,13 @@ class RunSpec:
         """Regenerate this run's stimulus schedule (deterministic)."""
         if self.program is not None:
             built = self.program.with_samples(self.samples).compile(self.case_seed)
-            if self.model == "extended":
-                built = _shifted_case(built, EXTENDED_MODEL_SHIFT_US)
+            shift_us = get_pack(self.system).model_shifts_us.get(self.model)
+            if shift_us:
+                built = _shifted_case(built, shift_us)
             return built
-        return build_case(self.case, self.samples, self.case_seed, model=self.model)
+        return build_case(
+            self.case, self.samples, self.case_seed, model=self.model, system=self.system
+        )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunSpec":
@@ -288,6 +308,7 @@ class RunSpec:
             faults=faults,
             mutant=mutant,
             backend=payload.get("backend", BACKEND_PYTHON),
+            system=payload.get("system", DEFAULT_SYSTEM),
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -311,6 +332,10 @@ class RunSpec:
         # the store keys derived from them) stay byte-identical.
         if self.backend != BACKEND_PYTHON:
             payload["backend"] = self.backend
+        # The default system is omitted so pre-systems serialized specs (and
+        # the store keys derived from them) stay byte-identical.
+        if self.system != DEFAULT_SYSTEM:
+            payload["system"] = self.system
         return payload
 
 
@@ -354,6 +379,13 @@ class CampaignSpec:
         for index, (scheme_point, case_point) in enumerate(
             itertools.product(self.schemes, self.cases)
         ):
+            # Seed coordinates fold the system in only for non-default packs,
+            # so every pre-systems campaign derives exactly the seeds it
+            # always has.
+            if case_point.system == DEFAULT_SYSTEM:
+                case_key = case_point.case
+            else:
+                case_key = f"{case_point.system}:{case_point.case}"
             sut_seed = scheme_point.sut_seed
             if sut_seed is None:
                 sut_seed = derive_seed(
@@ -362,11 +394,18 @@ class CampaignSpec:
                     scheme_point.scheme,
                     scheme_point.period_us,
                     scheme_point.interference_scale,
-                    case_point.case,
+                    case_key,
                 )
             case_seed = case_point.seed
             if case_seed is None:
-                case_seed = derive_seed(self.base_seed, "case", case_point.case, case_point.samples)
+                case_seed = derive_seed(self.base_seed, "case", case_key, case_point.samples)
+            # The campaign-level model only applies to runs of the system
+            # that owns it; case points from other packs run their pack's
+            # default model.
+            if model_system(self.model) == case_point.system:
+                run_model = self.model
+            else:
+                run_model = get_pack(case_point.system).default_model
             runs.append(
                 RunSpec(
                     index=index,
@@ -375,12 +414,13 @@ class CampaignSpec:
                     samples=case_point.samples,
                     case_seed=case_seed,
                     sut_seed=sut_seed,
-                    model=self.model,
+                    model=run_model,
                     period_us=scheme_point.period_us,
                     interference_scale=scheme_point.interference_scale,
                     m_test=self.m_test,
                     program=case_point.program,
                     backend=self.backend,
+                    system=case_point.system,
                 )
             )
         return tuple(runs)
@@ -417,6 +457,7 @@ class CampaignSpec:
                     program=None
                     if point.get("program") is None
                     else ScenarioProgram.from_dict(point["program"]),
+                    system=point.get("system", DEFAULT_SYSTEM),
                 )
                 for point in payload["cases"]
             ),
@@ -438,18 +479,24 @@ class CampaignSpec:
                 }
                 for point in self.schemes
             ],
-            "cases": [
-                {
-                    "case": point.case,
-                    "samples": point.samples,
-                    "seed": point.seed,
-                    "program": None if point.program is None else point.program.to_dict(),
-                }
-                for point in self.cases
-            ],
+            "cases": [self._case_payload(point) for point in self.cases],
         }
         if self.backend != BACKEND_PYTHON:
             payload["backend"] = self.backend
+        return payload
+
+    @staticmethod
+    def _case_payload(point: CasePoint) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "case": point.case,
+            "samples": point.samples,
+            "seed": point.seed,
+            "program": None if point.program is None else point.program.to_dict(),
+        }
+        # The default system is omitted so pre-systems serialized campaigns
+        # stay byte-identical.
+        if point.system != DEFAULT_SYSTEM:
+            payload["system"] = point.system
         return payload
 
 

@@ -22,8 +22,7 @@ from ..core.instrumentation import ProbeConfiguration
 from ..core.m_testing import MTestAnalyzer
 from ..core.r_testing import execute_r_test
 from ..core.serialization import m_report_to_dict, r_report_to_dict
-from ..gpca.interface import build_pump_interface
-from ..gpca.pump import build_scheme_system
+from ..systems import get_pack
 from .cache import process_cache
 from .results import RunRecord
 from .spec import BACKEND_PYTHON, M_TEST_NONE, M_TEST_VIOLATIONS, RunSpec, derive_seed
@@ -52,6 +51,7 @@ def execute_run(spec: RunSpec) -> RunRecord:
     global _EXECUTED_RUNS
     _EXECUTED_RUNS += 1
     started = time.perf_counter()
+    pack = get_pack(spec.system)
     cache = process_cache()
     if spec.mutant is not None:
         artifacts = cache.artifacts_for_mutant(spec.model, spec.mutant)
@@ -72,10 +72,10 @@ def execute_run(spec: RunSpec) -> RunRecord:
     probes = ProbeConfiguration.r_level() if spec.m_test == M_TEST_NONE else None
 
     def factory():
-        system = build_scheme_system(
+        system = pack.build_system(
             spec.scheme,
+            model=spec.model,
             seed=spec.sut_seed,
-            use_extended_model=spec.model == "extended",
             period_us=spec.period_us,
             interference_scale=spec.interference_scale,
             artifacts=artifacts,
@@ -92,7 +92,7 @@ def execute_run(spec: RunSpec) -> RunRecord:
 
     m_payload = None
     if spec.m_test != M_TEST_NONE:
-        analyzer = MTestAnalyzer(build_pump_interface(), test_case.requirement)
+        analyzer = MTestAnalyzer(pack.build_interface(), test_case.requirement)
         if spec.m_test == M_TEST_VIOLATIONS:
             m_report = analyzer.analyze_violations(r_report)
         else:

@@ -1,6 +1,7 @@
 """Command-line interface for the layered timing-testing framework.
 
-Nine sub-commands cover the everyday workflows on the GPCA case study::
+Ten sub-commands cover the everyday workflows on the registered case-study
+systems (the GPCA pump by default)::
 
     python -m repro verify    [--extended]
     python -m repro codegen   [--extended] [--output FILE]
@@ -10,11 +11,12 @@ Nine sub-commands cover the everyday workflows on the GPCA case study::
     python -m repro campaign  [--grid NAME] [--workers N] [--samples N]
                               [--seed S] [--json FILE] [--csv FILE]
                               [--baseline FILE] [--store DB] [--resume]
-    python -m repro explore   [--scheme {1,2,3}] [--model NAME]
+    python -m repro systems   [--list] [--json FILE]
+    python -m repro explore   [--scheme {1,2,3}] [--system ID] [--model NAME]
                               [--episodes N] [--seed S] [--json FILE]
     python -m repro faults    [--samples N] [--workers N] [--seed S]
-                              [--model NAME] [--hunt N] [--list] [--json FILE]
-                              [--store DB] [--resume]
+                              [--system ID] [--model NAME] [--hunt N]
+                              [--list] [--json FILE] [--store DB] [--resume]
     python -m repro store     {list | runs | diff | export} --db DB ...
     python -m repro serve     --store DB [--host HOST] [--port PORT]
 
@@ -24,13 +26,15 @@ additionally write machine-readable artefacts (JSON/CSV/C source/text).
 worker processes (``--workers 0`` auto-detects one worker per schedulable
 CPU) — and ``--baseline`` measures serial versus parallel wall-clock
 (verifying the aggregates are byte-identical first).
+``repro systems`` lists the registered system packs (:mod:`repro.systems`);
+``explore`` and ``faults`` take ``--system`` to aim at any registered pack.
 ``repro explore`` runs the seeded coverage-guided scenario generator
 (:mod:`repro.scenarios`): it samples scenario programs, executes them against
 one implementation scheme and steers generation toward uncovered model
 transitions, printing the per-episode log and the final coverage summary.
 ``repro faults`` runs the fault-injection / mutation-analysis kill matrix
-(:mod:`repro.faults`): the default seeded fault suite and the generated model
-mutants fanned against the GPCA requirement scenarios, with ``--hunt`` aiming
+(:mod:`repro.faults`): the pack's seeded fault suite and the generated model
+mutants fanned against its requirement scenarios, with ``--hunt`` aiming
 the coverage-guided survivor hunter at any mutants the fixed scenarios miss.
 
 Persistence (:mod:`repro.store`): ``--store DB`` on ``campaign``/``faults``
@@ -82,9 +86,7 @@ from .gpca import (
     build_extended_statechart,
     build_fig2_statechart,
     build_pump_interface,
-    build_scheme_system,
     gpca_requirements,
-    gpca_scenario_space,
     req1_bolus_start,
     scheme_factory,
     scheme_name,
@@ -92,6 +94,7 @@ from .gpca import (
 from .model.verification import BoundedResponseChecker
 from .scenarios import CoverageGuidedExplorer
 from .store import ENDPOINTS, RunStore, StoreError, StoreServer, diff_snapshots
+from .systems import DEFAULT_SYSTEM, get_pack, iter_packs, pack_ids
 
 
 def package_version() -> str:
@@ -362,13 +365,19 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.workers < 0:
         print("repro faults: error: worker count cannot be negative", file=sys.stderr)
         return 2
-    spec = default_matrix_spec(samples=args.samples, base_seed=args.seed, model=args.model)
+    resolved = _resolve_pack_model("faults", args)
+    if resolved is None:
+        return 2
+    pack, model = resolved
+    spec = default_matrix_spec(
+        samples=args.samples, base_seed=args.seed, model=model, system=pack.system_id
+    )
 
     if args.list:
-        print(f"fault suite ({len(spec.fault_plans)} plans):")
+        print(f"fault suite of system {pack.system_id!r} ({len(spec.fault_plans)} plans):")
         for plan in spec.fault_plans:
             print(f"  {plan.describe()}")
-        print(f"mutants of model {args.model!r} ({len(spec.mutants)}):")
+        print(f"mutants of model {model!r} ({len(spec.mutants)}):")
         for mutant in spec.mutants:
             print(f"  {mutant.mutant_id:<40} {mutant.description}")
         return 0
@@ -412,10 +421,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
         surviving = set(matrix.surviving_mutants())
         survivors = [mutant for mutant in spec.mutants if mutant.mutant_id in surviving]
         hunter = SurvivorHunter(
-            gpca_scenario_space(),
+            pack.scenario_space(),
             survivors,
             scheme=spec.mutant_schemes[0],
-            model=args.model,
+            model=model,
+            system=pack.system_id,
             seed=args.seed,
         )
         hunt_report = hunter.hunt(args.hunt)
@@ -550,33 +560,101 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_pack_model(command: str, args: argparse.Namespace):
+    """Resolve (pack, model) from --system/--model, or None after a usage error."""
+    try:
+        pack = get_pack(args.system)
+    except ValueError as error:
+        print(f"repro {command}: error: {error}", file=sys.stderr)
+        return None
+    model = args.model if args.model is not None else pack.default_model
+    if model not in pack.model_builders:
+        known = ", ".join(sorted(pack.model_builders))
+        print(
+            f"repro {command}: error: unknown model {model!r} for system "
+            f"{pack.system_id!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return None
+    return pack, model
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    """List the registered system packs and their inventory counts."""
+    rows = []
+    for pack in iter_packs():
+        space = pack.scenario_space()
+        rows.append(
+            {
+                "system": pack.system_id,
+                "title": pack.title,
+                "description": pack.description,
+                "default_model": pack.default_model,
+                "models": sorted(pack.model_builders),
+                "schemes": list(pack.schemes),
+                "cases": sorted(pack.case_builders),
+                "requirement_count": len(pack.requirements()),
+                "case_count": len(pack.case_builders),
+                "model_count": len(pack.model_builders),
+                "scheme_count": len(pack.schemes),
+                "scenario_space": {
+                    "requirement_count": len(space.requirements),
+                    "setup_variable_count": len(space.setup_variables),
+                    "teardown_variable_count": len(space.teardown_variables),
+                },
+            }
+        )
+    print(f"registered systems ({len(rows)}):")
+    for row in rows:
+        print(f"  {row['system']:<10} {row['title']} — {row['description']}")
+        print(
+            f"  {'':<10} models: {', '.join(row['models'])} (default {row['default_model']}); "
+            f"schemes: {', '.join(str(s) for s in row['schemes'])}"
+        )
+        space = row["scenario_space"]
+        print(
+            f"  {'':<10} {row['requirement_count']} requirements, {row['case_count']} scenarios, "
+            f"space: {space['requirement_count']} reqs x "
+            f"{space['setup_variable_count']} setup / "
+            f"{space['teardown_variable_count']} teardown vars"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps({"systems": rows}, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"system inventory written to {args.json}")
+    return 0
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     """Run seeded coverage-guided scenario exploration against one scheme.
 
-    Samples scenario programs from the GPCA scenario space, executes each
-    compiled program against a fresh system of the requested scheme, and
-    biases further sampling toward programs that covered new generated
-    transitions.  The whole run is a pure function of the arguments, so the
-    same seed always prints the same episode log and coverage summary.
+    Samples scenario programs from the chosen system pack's scenario space,
+    executes each compiled program against a fresh system of the requested
+    scheme, and biases further sampling toward programs that covered new
+    generated transitions.  The whole run is a pure function of the
+    arguments, so the same seed always prints the same episode log and
+    coverage summary.
     """
     if args.episodes <= 0:
         print("repro explore: error: episode count must be positive", file=sys.stderr)
         return 2
-    artifacts = process_cache().artifacts_for_model(args.model)
+    resolved = _resolve_pack_model("explore", args)
+    if resolved is None:
+        return 2
+    pack, model = resolved
+    artifacts = process_cache().artifacts_for_model(model)
 
     def factory():
-        return build_scheme_system(
-            args.scheme,
-            seed=args.sut_seed,
-            use_extended_model=args.model == "extended",
-            artifacts=artifacts,
+        return pack.build_system(
+            args.scheme, model=model, seed=args.sut_seed, artifacts=artifacts
         )
 
     explorer = CoverageGuidedExplorer(
-        gpca_scenario_space(), factory, artifacts.code_model, seed=args.seed
+        pack.scenario_space(), factory, artifacts.code_model, seed=args.seed
     )
     report = explorer.explore(args.episodes)
-    print(f"scheme: {scheme_name(args.scheme)}, model: {args.model}")
+    print(f"system: {pack.system_id}, scheme: {pack.scheme_name(args.scheme)}, model: {model}")
     print(report.summary())
     if args.json:
         Path(args.json).write_text(
@@ -675,6 +753,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.set_defaults(handler=cmd_campaign)
 
+    systems = subparsers.add_parser(
+        "systems", help="list the registered system packs (repro.systems)"
+    )
+    systems.add_argument(
+        "--list",
+        action="store_true",
+        help="print the pack inventory (the default behaviour, for symmetry)",
+    )
+    systems.add_argument("--json", help="write the pack inventory as JSON")
+    systems.set_defaults(handler=cmd_systems)
+
     explore = subparsers.add_parser(
         "explore",
         help="coverage-guided scenario generation against one implementation scheme",
@@ -687,10 +776,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="implementation scheme to explore (default: 1, single-threaded)",
     )
     explore.add_argument(
+        "--system",
+        default=DEFAULT_SYSTEM,
+        help=f"registered system pack to explore (default: {DEFAULT_SYSTEM}; "
+        f"known: {', '.join(pack_ids())})",
+    )
+    explore.add_argument(
         "--model",
-        choices=("fig2", "extended"),
-        default="fig2",
-        help="model whose generated transitions are the coverage target (default: fig2)",
+        default=None,
+        help="model whose generated transitions are the coverage target "
+        "(default: the system's default model)",
     )
     explore.add_argument(
         "--episodes",
@@ -726,10 +821,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--seed", type=int, default=0, help="matrix seed (default: 0)")
     faults.add_argument(
+        "--system",
+        default=DEFAULT_SYSTEM,
+        help=f"registered system pack the matrix runs against (default: "
+        f"{DEFAULT_SYSTEM}; known: {', '.join(pack_ids())})",
+    )
+    faults.add_argument(
         "--model",
-        choices=("fig2", "extended"),
-        default="fig2",
-        help="model the mutants are generated from (default: fig2)",
+        default=None,
+        help="model the mutants are generated from (default: the system's "
+        "default model)",
     )
     faults.add_argument(
         "--hunt",

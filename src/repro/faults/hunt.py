@@ -1,6 +1,6 @@
 """Coverage-guided hunting of surviving mutants.
 
-The kill matrix scores mutants against the *fixed* GPCA requirement
+The kill matrix scores mutants against a system pack's *fixed* requirement
 scenarios.  Mutants that survive those are exactly the interesting ones — a
 behavioural defect the stock test suite cannot see.  The
 :class:`SurvivorHunter` turns the scenario-generation subsystem
@@ -42,8 +42,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..campaign.cache import process_cache
 from ..core.four_variables import EventKind, Trace
 from ..core.r_testing import RTestReport, execute_r_test
-from ..gpca.pump import build_scheme_system
 from ..platform.kernel.random import RandomSource
+from ..systems import DEFAULT_SYSTEM, get_pack
 from ..scenarios.dsl import ScenarioProgram
 from ..scenarios.generator import ScenarioSampler, ScenarioSpace
 from .mutants import MutantSpec
@@ -160,7 +160,8 @@ class SurvivorHunter:
         mutants: Sequence[MutantSpec],
         *,
         scheme: int = 2,
-        model: str = "fig2",
+        model: Optional[str] = None,
+        system: str = DEFAULT_SYSTEM,
         sut_seed: int = 11,
         seed: int = 0,
         samples: Optional[int] = 3,
@@ -168,7 +169,8 @@ class SurvivorHunter:
         self.space = space
         self.mutants = {mutant.mutant_id: mutant for mutant in mutants}
         self.scheme = scheme
-        self.model = model
+        self.system = system
+        self.model = get_pack(system).default_model if model is None else model
         self.sut_seed = sut_seed
         self.seed = seed
         self.samples = samples
@@ -243,13 +245,12 @@ class SurvivorHunter:
             artifacts = cache.artifacts_for_model(self.model)
         else:
             artifacts = cache.artifacts_for_mutant(self.model, mutant)
+        pack = get_pack(self.system)
         scheme = self.scheme
+        model = self.model
         sut_seed = self.sut_seed
-        use_extended = self.model == "extended"
 
         def factory():
-            return build_scheme_system(
-                scheme, seed=sut_seed, use_extended_model=use_extended, artifacts=artifacts
-            )
+            return pack.build_system(scheme, model=model, seed=sut_seed, artifacts=artifacts)
 
         return factory

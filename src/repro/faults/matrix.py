@@ -31,8 +31,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..campaign.results import CampaignResult, RunRecord
 from ..campaign.runner import CampaignRunner
-from ..campaign.spec import CASE_BUILDERS, KNOWN_MODELS, M_TEST_NONE, M_TEST_POLICIES, RunSpec, derive_seed
-from .models import FaultPlan, default_fault_suite
+from ..campaign.spec import CASE_BUILDERS, M_TEST_NONE, M_TEST_POLICIES, RunSpec, derive_seed
+from ..systems import DEFAULT_SYSTEM, get_pack, model_system
+from .models import FaultPlan
 from .mutants import MutantSpec, generate_mutants
 
 #: Grid-point roles, recorded per run for the scoring pass.
@@ -63,8 +64,11 @@ class FaultMatrixSpec:
     base_seed: int = 0
     model: str = "fig2"
     m_test: str = M_TEST_NONE
+    #: Registered system pack the whole matrix runs against.
+    system: str = DEFAULT_SYSTEM
 
     def __post_init__(self) -> None:
+        pack = get_pack(self.system)
         if not self.cases:
             raise ValueError("kill matrix needs at least one scenario")
         for plan in self.fault_plans:
@@ -79,16 +83,18 @@ class FaultMatrixSpec:
         if len(set(mutant_ids)) != len(mutant_ids):
             raise ValueError("mutant ids must be unique (duplicate rows would merge)")
         for case in self.cases:
-            if case not in CASE_BUILDERS:
-                known = ", ".join(sorted(CASE_BUILDERS))
+            if case not in pack.case_builders:
+                known = ", ".join(sorted(pack.case_builders))
                 raise ValueError(f"unknown scenario {case!r} (known: {known})")
         for scheme in (*self.fault_schemes, *self.mutant_schemes):
             if scheme not in (1, 2, 3):
                 raise ValueError(f"unknown implementation scheme {scheme!r}")
         if self.samples <= 0:
             raise ValueError("sample count must be positive")
-        if self.model not in KNOWN_MODELS:
-            raise ValueError(f"unknown model {self.model!r} (known: {KNOWN_MODELS})")
+        if model_system(self.model) != self.system:
+            raise ValueError(
+                f"model {self.model!r} does not belong to system {self.system!r}"
+            )
         if self.m_test not in M_TEST_POLICIES:
             raise ValueError(f"unknown m_test policy {self.m_test!r}")
 
@@ -109,12 +115,13 @@ class FaultMatrixSpec:
     def _seeds(self, scheme: int, case: str) -> Tuple[int, int]:
         """The (sut_seed, case_seed) shared by every run at one coordinate.
 
-        Derivation mirrors :class:`CampaignSpec` — coordinates only, never the
-        injected defect — so baseline and injected runs differ *solely* in the
-        defect.
+        Derivation mirrors :class:`CampaignSpec` — coordinates only (with the
+        system folded in for non-default packs), never the injected defect —
+        so baseline and injected runs differ *solely* in the defect.
         """
-        sut_seed = derive_seed(self.base_seed, "sut", scheme, None, None, case)
-        case_seed = derive_seed(self.base_seed, "case", case, self.samples)
+        case_key = case if self.system == DEFAULT_SYSTEM else f"{self.system}:{case}"
+        sut_seed = derive_seed(self.base_seed, "sut", scheme, None, None, case_key)
+        case_seed = derive_seed(self.base_seed, "case", case_key, self.samples)
         return sut_seed, case_seed
 
     def _run(self, index: int, scheme: int, case: str, *, faults=None, mutant=None) -> RunSpec:
@@ -130,6 +137,7 @@ class FaultMatrixSpec:
             m_test=self.m_test,
             faults=faults,
             mutant=mutant,
+            system=self.system,
         )
 
     def expand(self) -> Tuple[RunSpec, ...]:
@@ -149,7 +157,7 @@ class FaultMatrixSpec:
         return tuple(runs)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "base_seed": self.base_seed,
             "model": self.model,
@@ -162,6 +170,11 @@ class FaultMatrixSpec:
             "fault_plans": [plan.to_dict() for plan in self.fault_plans],
             "mutants": [mutant.to_dict() for mutant in self.mutants],
         }
+        # The default system is omitted so pre-systems serialized matrices
+        # stay byte-identical.
+        if self.system != DEFAULT_SYSTEM:
+            payload["system"] = self.system
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "FaultMatrixSpec":
@@ -177,6 +190,7 @@ class FaultMatrixSpec:
             mutant_schemes=tuple(payload.get("mutant_schemes", ())),
             fault_plans=tuple(FaultPlan.from_dict(plan) for plan in payload.get("fault_plans", ())),
             mutants=tuple(MutantSpec.from_dict(mutant) for mutant in payload.get("mutants", ())),
+            system=payload.get("system", DEFAULT_SYSTEM),
         )
 
 
@@ -184,29 +198,36 @@ def default_matrix_spec(
     *,
     samples: int = 4,
     base_seed: int = 0,
-    model: str = "fig2",
+    model: Optional[str] = None,
+    system: str = DEFAULT_SYSTEM,
     fault_schemes: Tuple[int, ...] = (1, 2),
     mutant_schemes: Tuple[int, ...] = (2,),
 ) -> FaultMatrixSpec:
-    """The stock kill matrix: default fault suite × the named model's mutants.
+    """The stock kill matrix: a pack's fault suite × its model's mutants.
 
-    Mutants are generated from — and, inside the workers, re-applied to —
-    the same named model, and everything else (fault suite, seeds) is
-    deterministic, so the matrix verdicts are a pure function of the
-    arguments.
+    ``model`` defaults to the system's default model.  Mutants are generated
+    from — and, inside the workers, re-applied to — the same named model, and
+    everything else (fault suite, seeds) is deterministic, so the matrix
+    verdicts are a pure function of the arguments.
     """
-    from ..campaign.cache import MODEL_BUILDERS
-
-    chart = MODEL_BUILDERS[model]()
+    pack = get_pack(system)
+    if model is None:
+        model = pack.default_model
+    if model not in pack.model_builders:
+        known = ", ".join(sorted(pack.model_builders))
+        raise ValueError(f"unknown model {model!r} for system {system!r} (known: {known})")
+    chart = pack.model_builders[model]()
     return FaultMatrixSpec(
         name="kill-matrix",
-        fault_plans=default_fault_suite(),
+        fault_plans=tuple(pack.fault_suite()),
         mutants=generate_mutants(chart),
         fault_schemes=fault_schemes,
         mutant_schemes=mutant_schemes,
+        cases=tuple(sorted(pack.case_builders)),
         samples=samples,
         base_seed=base_seed,
         model=model,
+        system=system,
     )
 
 

@@ -35,7 +35,13 @@ def _canonical(payload: Any) -> str:
 
 
 def run_coordinate(spec: RunSpec) -> Dict[str, Any]:
-    """The index-free, content-addressed coordinate dict of one run spec."""
+    """The index-free, content-addressed coordinate dict of one run spec.
+
+    The system id rides in via ``spec.to_dict()`` for non-default packs only:
+    ``RunSpec.to_dict`` omits the default system, so every coordinate (and
+    store key) minted before the systems registry existed is reproduced
+    byte-identically, while runs of other packs get distinct keys.
+    """
     coordinate = spec.to_dict()
     coordinate.pop("index")
     coordinate.pop("label")

@@ -1,0 +1,360 @@
+"""Declarative platform assembly for system packs.
+
+The GPCA pump hand-builds its simulated platform (``repro.gpca.hardware``);
+new case studies describe theirs declaratively instead: a list of device
+specs (edge-triggered buttons, sampled level sensors, actuators) plus a map
+of stimulus actions, and :func:`build_pack_bundle` assembles the same
+:class:`repro.integration.base.PlatformBundle` shape — devices, environment,
+four-variable interfacing code and stimulus routing — that every integration
+scheme consumes.
+
+:func:`build_pack_scheme_system` is the declarative counterpart of
+``repro.gpca.pump.build_scheme_system`` for such packs: it wires a bundle
+builder, an execution-time model and a chart builder into any of the paper's
+three implementation schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..codegen.generator import GeneratedArtifacts, generate_code
+from ..core.instrumentation import ProbeConfiguration
+from ..core.four_variables import TraceRecorder
+from ..integration.base import EngineProfile, PlatformBundle
+from ..integration.interference import InterferedConfig, InterferedSystem
+from ..integration.interfacing import (
+    EventInputBinding,
+    InputInterfacing,
+    LevelInputBinding,
+    OutputBinding,
+    OutputInterfacing,
+)
+from ..integration.multi_threaded import MultiThreadedConfig, MultiThreadedSystem
+from ..integration.single_threaded import SingleThreadedConfig, SingleThreadedSystem
+from ..platform.devices.device import EventInputDevice, OutputDevice, StateInputDevice
+from ..platform.kernel.random import JitterModel, RandomSource, uniform
+from ..platform.kernel.simulator import Simulator
+from ..platform.kernel.time import ms, us
+
+
+@dataclass(frozen=True)
+class ButtonSpec:
+    """An edge-triggered input device (button, electrode, pedal)."""
+
+    attribute: str
+    monitored_variable: str
+    input_variable: str
+    sampling_period_us: int = ms(2)
+    conversion_latency: Optional[JitterModel] = None
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """A sampled level sensor; optional falling edge feeds a second i-variable."""
+
+    attribute: str
+    monitored_variable: str
+    rising_input: str
+    falling_input: Optional[str] = None
+    sampling_period_us: int = ms(10)
+    conversion_latency: Optional[JitterModel] = None
+    initial_value: bool = False
+
+
+@dataclass(frozen=True)
+class ActuatorSpec:
+    """An output device realising one o-variable as a c-variable."""
+
+    attribute: str
+    output_variable: str
+    controlled_variable: str
+    actuation_latency: Optional[JitterModel] = None
+    initial_value: int = 0
+
+
+@dataclass(frozen=True)
+class PressAction:
+    """Stimulus action: trigger an edge device, releasing 50 ms later."""
+
+    attribute: str
+
+
+@dataclass(frozen=True)
+class LevelAction:
+    """Stimulus action: set a level sensor's physical value."""
+
+    attribute: str
+    value: bool = True
+
+
+class PackHardware:
+    """Device collection built from declarative specs.
+
+    Devices are exposed as attributes named by their spec (``attribute`` is
+    simultaneously the device name and the named random stream), which is the
+    contract the sensor fault models rely on
+    (``getattr(system.bundle.hardware, fault.device)``).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        recorder: TraceRecorder,
+        buttons: Sequence[ButtonSpec],
+        levels: Sequence[LevelSpec],
+        actuators: Sequence[ActuatorSpec],
+        *,
+        randomness: Optional[RandomSource] = None,
+        device_wrapper: Optional[Callable[[type], type]] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.recorder = recorder
+        randomness = randomness or RandomSource(0)
+        wrap = device_wrapper if device_wrapper is not None else (lambda cls: cls)
+        self._input_devices: List[object] = []
+        self._output_devices: List[object] = []
+        for spec in buttons:
+            device = wrap(EventInputDevice)(
+                spec.attribute,
+                spec.monitored_variable,
+                simulator,
+                recorder,
+                sampling_period_us=spec.sampling_period_us,
+                conversion_latency=spec.conversion_latency or uniform(us(300), us(100)),
+                rng=randomness.stream(spec.attribute),
+            )
+            setattr(self, spec.attribute, device)
+            self._input_devices.append(device)
+        for spec in levels:
+            device = wrap(StateInputDevice)(
+                spec.attribute,
+                spec.monitored_variable,
+                simulator,
+                recorder,
+                sampling_period_us=spec.sampling_period_us,
+                conversion_latency=spec.conversion_latency or uniform(us(500), us(200)),
+                initial_value=spec.initial_value,
+                rng=randomness.stream(spec.attribute),
+            )
+            setattr(self, spec.attribute, device)
+            self._input_devices.append(device)
+        for spec in actuators:
+            device = wrap(OutputDevice)(
+                spec.attribute,
+                spec.controlled_variable,
+                simulator,
+                recorder,
+                actuation_latency=spec.actuation_latency or uniform(ms(1), us(300)),
+                initial_value=spec.initial_value,
+                rng=randomness.stream(spec.attribute),
+            )
+            setattr(self, spec.attribute, device)
+            self._output_devices.append(device)
+
+    @property
+    def input_devices(self) -> List[object]:
+        return list(self._input_devices)
+
+    @property
+    def output_devices(self) -> List[object]:
+        return list(self._output_devices)
+
+    def start(self) -> None:
+        """Start every device driver's sampling process."""
+        for device in self._input_devices:
+            device.start()
+
+
+class PackEnvironment:
+    """Stimulus-injection environment for declaratively built platforms."""
+
+    def __init__(self, simulator: Simulator, hardware: PackHardware) -> None:
+        self.simulator = simulator
+        self.hardware = hardware
+        self.scheduled_stimuli: List[Dict[str, object]] = []
+
+    def schedule_press(self, device: EventInputDevice, at_us: int, kind: str) -> None:
+        """Press an edge device at ``at_us``; released 50 ms later."""
+        self.scheduled_stimuli.append({"kind": kind, "at_us": at_us, "value": True})
+        self.simulator.schedule_at(at_us, lambda: device.trigger(True), label=f"env:{kind}")
+        self.simulator.schedule_at(at_us + ms(50), device.release, label=f"env:{kind}:release")
+
+    def schedule_level(
+        self, device: StateInputDevice, at_us: int, value: bool, kind: str
+    ) -> None:
+        """Drive a level sensor's physical value at ``at_us``."""
+        self.scheduled_stimuli.append({"kind": kind, "at_us": at_us, "value": value})
+        self.simulator.schedule_at(
+            at_us, lambda: device.set_physical(value), label=f"env:{kind}"
+        )
+
+
+def build_pack_bundle(
+    *,
+    buttons: Sequence[ButtonSpec],
+    levels: Sequence[LevelSpec],
+    actuators: Sequence[ActuatorSpec],
+    stimuli: Mapping[str, Any],
+    interface_builder: Callable[[], Any],
+    seed: int = 0,
+    input_variables: Optional[Iterable[str]] = None,
+    engine: Optional[EngineProfile] = None,
+) -> PlatformBundle:
+    """Assemble one fresh simulated platform from declarative specs.
+
+    Mirrors ``repro.gpca.hardware.build_platform_bundle``: ``input_variables``
+    restricts the interfacing code to the i-variables the generated chart
+    declares; ``engine`` selects the runtime engine (production by default).
+    ``stimuli`` maps monitored variables to :class:`PressAction` /
+    :class:`LevelAction` records that become the bundle's stimulus routing.
+    """
+    if engine is None:
+        simulator = Simulator()
+        recorder = TraceRecorder(lambda: simulator.now)
+        device_wrapper = None
+        scheduler_class = None
+    else:
+        simulator = engine.simulator_factory()
+        recorder = engine.recorder_factory(lambda: simulator.now)
+        device_wrapper = engine.device_wrapper
+        scheduler_class = engine.scheduler_class
+    randomness = RandomSource(seed)
+    hardware = PackHardware(
+        simulator,
+        recorder,
+        buttons,
+        levels,
+        actuators,
+        randomness=randomness,
+        device_wrapper=device_wrapper,
+    )
+    environment = PackEnvironment(simulator, hardware)
+    interface = interface_builder()
+
+    wanted = set(input_variables) if input_variables is not None else None
+
+    def include(variable: str) -> bool:
+        return wanted is None or variable in wanted
+
+    input_interfacing = InputInterfacing()
+    for spec in buttons:
+        if include(spec.input_variable):
+            input_interfacing.add(
+                EventInputBinding(getattr(hardware, spec.attribute), spec.input_variable)
+            )
+    for spec in levels:
+        device = getattr(hardware, spec.attribute)
+        if include(spec.rising_input):
+            input_interfacing.add(LevelInputBinding(device, spec.rising_input))
+        if spec.falling_input and include(spec.falling_input):
+            input_interfacing.add(
+                LevelInputBinding(device, spec.falling_input, trigger_value=False)
+            )
+
+    output_interfacing = OutputInterfacing(
+        [
+            OutputBinding(spec.output_variable, getattr(hardware, spec.attribute))
+            for spec in actuators
+        ]
+    )
+
+    stimulus_actions: Dict[str, Callable[[int], None]] = {}
+    for variable, action in stimuli.items():
+        device = getattr(hardware, action.attribute)
+        if isinstance(action, PressAction):
+
+            def press(at_us: int, device=device, kind=action.attribute) -> None:
+                environment.schedule_press(device, at_us, kind)
+
+            stimulus_actions[variable] = press
+        else:
+
+            def level(
+                at_us: int, device=device, value=action.value, kind=action.attribute
+            ) -> None:
+                environment.schedule_level(device, at_us, value, kind)
+
+            stimulus_actions[variable] = level
+
+    return PlatformBundle(
+        simulator=simulator,
+        recorder=recorder,
+        scheduler_class=scheduler_class,
+        hardware=hardware,
+        environment=environment,
+        interface=interface,
+        input_interfacing=input_interfacing,
+        output_interfacing=output_interfacing,
+        stimulus_actions=stimulus_actions,
+    )
+
+
+def build_pack_scheme_system(
+    scheme: int,
+    *,
+    bundle_builder: Callable[..., PlatformBundle],
+    execution_model_factory: Callable[[], Any],
+    chart_builder: Callable[[], Any],
+    seed: int = 0,
+    period_us: Optional[int] = None,
+    interference_scale: Optional[float] = None,
+    artifacts: Optional[GeneratedArtifacts] = None,
+    probes: Optional[ProbeConfiguration] = None,
+    engine: Optional[EngineProfile] = None,
+    code_factory: Optional[Callable[[], Any]] = None,
+):
+    """Assemble one implemented system for a declaratively specified pack.
+
+    ``bundle_builder(seed=..., input_variables=..., engine=...)`` produces a
+    fresh platform; everything else follows the GPCA scheme factory: scheme 1
+    accepts a polling period, scheme 3 an interference scaling, and
+    ``artifacts`` / ``probes`` / ``engine`` / ``code_factory`` default to the
+    production configuration.
+    """
+    if period_us is not None and scheme != 1:
+        raise ValueError("period_us only applies to scheme 1 (single-threaded)")
+    if interference_scale is not None and scheme != 3:
+        raise ValueError("interference_scale only applies to scheme 3 (interfered)")
+    if artifacts is None:
+        artifacts = generate_code(chart_builder())
+    bundle = bundle_builder(
+        seed=seed, input_variables=artifacts.code_model.input_names, engine=engine
+    )
+    probes = probes or ProbeConfiguration.m_level()
+    config: Any
+    system_class: Any
+    if scheme == 1:
+        config = SingleThreadedConfig()
+        if period_us is not None:
+            config.period_us = period_us
+        system_class = SingleThreadedSystem
+    elif scheme == 2:
+        config = MultiThreadedConfig()
+        system_class = MultiThreadedSystem
+    elif scheme == 3:
+        config = InterferedConfig()
+        if interference_scale is not None:
+            config = config.scaled_interference(interference_scale)
+        system_class = InterferedSystem
+    else:
+        raise ValueError(f"unknown implementation scheme {scheme!r} (expected 1, 2 or 3)")
+    config.execution_model = execution_model_factory()
+    config.probes = probes
+    config.seed = seed
+    config.code_factory = code_factory
+    return system_class(bundle, artifacts, config)
+
+
+__all__: Tuple[str, ...] = (
+    "ActuatorSpec",
+    "ButtonSpec",
+    "LevelAction",
+    "LevelSpec",
+    "PackEnvironment",
+    "PackHardware",
+    "PressAction",
+    "build_pack_bundle",
+    "build_pack_scheme_system",
+)

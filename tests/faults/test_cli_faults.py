@@ -8,7 +8,7 @@ from repro.cli import main
 def test_faults_list_prints_suite_and_mutants(capsys):
     assert main(["faults", "--list"]) == 0
     output = capsys.readouterr().out
-    assert "fault suite (7 plans):" in output
+    assert "fault suite of system 'gpca' (7 plans):" in output
     assert "clock-drift" in output
     assert "mutants of model 'fig2' (12):" in output
     assert "drop:t_start_infusion:0:o-MotorState" in output

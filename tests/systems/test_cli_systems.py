@@ -1,0 +1,59 @@
+"""CLI coverage of ``repro systems`` and the ``--system`` flags."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestSystemsCommand:
+    def test_lists_every_registered_pack(self, capsys):
+        assert main(["systems"]) == 0
+        output = capsys.readouterr().out
+        assert "registered systems (3):" in output
+        for system in ("gpca", "pacemaker", "cruise"):
+            assert system in output
+        assert "default fig2" in output
+
+    def test_list_flag_is_an_alias(self, capsys):
+        assert main(["systems", "--list"]) == 0
+        assert "registered systems (3):" in capsys.readouterr().out
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "systems.json"
+        assert main(["systems", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        rows = {row["system"]: row for row in payload["systems"]}
+        assert set(rows) == {"gpca", "pacemaker", "cruise"}
+        assert rows["pacemaker"]["default_model"] == "pacemaker"
+        assert rows["cruise"]["scheme_count"] == 3
+        for row in rows.values():
+            assert row["requirement_count"] >= 3
+            assert row["scenario_space"]["requirement_count"] >= 3
+
+
+class TestSystemFlags:
+    def test_explore_accepts_a_system(self, capsys):
+        assert main(["explore", "--system", "cruise", "--episodes", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "system: cruise" in output
+        assert "transition coverage" in output
+
+    def test_explore_rejects_unknown_system(self, capsys):
+        assert main(["explore", "--system", "nope", "--episodes", "2"]) == 2
+        assert "unknown system 'nope'" in capsys.readouterr().err
+
+    def test_explore_rejects_cross_pack_model(self, capsys):
+        assert main(["explore", "--system", "cruise", "--model", "fig2"]) == 2
+        assert "unknown model 'fig2' for system 'cruise'" in capsys.readouterr().err
+
+    def test_faults_list_honours_the_system(self, capsys):
+        assert main(["faults", "--system", "pacemaker", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fault suite of system 'pacemaker'" in output
+        assert "mutants of model 'pacemaker'" in output
+
+    def test_faults_rejects_unknown_system(self, capsys):
+        assert main(["faults", "--system", "bogus", "--list"]) == 2
+        assert "unknown system 'bogus'" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""GPCA byte-identity pins across the systems refactor.
+
+These hashes were captured on the pre-registry implementation.  They pin the
+refactor's central promise: routing the GPCA pump through the system-pack
+registry changes *nothing* about its serialized specs, store coordinates,
+R-/M-report payloads or campaign aggregates — not a byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import full_grid_spec, scenario_grid_spec, table_one_spec
+from repro.faults.matrix import default_matrix_spec
+from repro.store.keys import run_coordinate, run_key
+
+#: SHA-256 of the canonical JSON rendering, captured before the refactor.
+TABLE_ONE_RESULT_SHA = "2a7c7c9c584da1ae3cf5089c66d07c32408298a3e9cffd4f4b15ca3722fbbfd7"
+RUN_KEYS = (
+    "a6e0a91311b546ea1ffb01ce48fe5886dcde446c12fc3be00d1effcfc8d2285c",  # scheme 1
+    "1b4c39dc60f4fbf799d032b9949a37d31d183d6cac47e563066510bf3046d475",  # scheme 2
+    "343a74aaf4defdea9d9b96473b042e86314675cf132c593739938496dc83715d",  # scheme 3
+)
+RUN0_R_PAYLOAD_SHA = "04fc9b34abd316e590beeb5b34aacce06b1cd11085eb1eef6804fc2002bc4443"
+RUN0_M_PAYLOAD_SHA = "c1a64f5bb271239f00729e09c3b18ec3a0cd335111dc70255742d30f3c168f7a"
+MATRIX_SPEC_SHA = "712f57f13aa03071bfac32372a7ccf2e203d33fa6c44e5217d4fb22a456ea8bc"
+SCENARIO_GRID_SHA = "8c5a081cab51e34ce3e2631393af9a2869c5a12291ec7ec2c8e6c6d1ae24cfab"
+FULL_GRID_SHA = "e60c5e1991454cd466129f68f7cc542318ffea86c1a1aac71906cc9809f16e02"
+
+
+def canonical_sha(payload) -> str:
+    rendering = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendering.encode("utf-8")).hexdigest()
+
+
+class TestSpecPins:
+    def test_kill_matrix_spec_is_byte_identical(self):
+        spec = default_matrix_spec(samples=2, base_seed=0)
+        assert canonical_sha(spec.to_dict()) == MATRIX_SPEC_SHA
+        labels = [run.label for run in spec.expand()[:3]]
+        assert labels == [
+            "scheme1/alarm-clear",
+            "scheme1/bolus-request",
+            "scheme1/empty-reservoir-alarm",
+        ]
+
+    def test_scenario_and_full_grids_are_byte_identical(self):
+        assert canonical_sha(scenario_grid_spec(samples=3).to_dict()) == SCENARIO_GRID_SHA
+        assert canonical_sha(full_grid_spec(samples=2).to_dict()) == FULL_GRID_SHA
+
+
+@pytest.mark.slow
+class TestCampaignPins:
+    @pytest.fixture(scope="class")
+    def table_one_result(self):
+        return CampaignRunner(table_one_spec(samples=4), workers=1).run()
+
+    def test_table_one_aggregate_is_byte_identical(self, table_one_result):
+        digest = hashlib.sha256(table_one_result.to_json().encode("utf-8")).hexdigest()
+        assert digest == TABLE_ONE_RESULT_SHA
+
+    def test_store_keys_and_coordinates_are_unchanged(self, table_one_result):
+        specs = [record.spec for record in table_one_result.records]
+        assert tuple(run_key(spec) for spec in specs) == RUN_KEYS
+        # Legacy coordinates carry no "system" entry at all.
+        for spec in specs:
+            assert "system" not in run_coordinate(spec)
+
+    def test_run_payloads_are_byte_identical(self, table_one_result):
+        run0 = table_one_result.records[0]
+        assert canonical_sha(run0.r_payload) == RUN0_R_PAYLOAD_SHA
+        assert canonical_sha(run0.m_payload) == RUN0_M_PAYLOAD_SHA
+
+    def test_scheme_labels_still_come_out_as_the_paper_names(self, table_one_result):
+        rendered = table_one_result.table_one().render()
+        assert "Scheme 1 (single-threaded)" in rendered
+        assert "Scheme 2 (multi-threaded)" in rendered
+        assert "Scheme 3 (multi-threaded + interference)" in rendered

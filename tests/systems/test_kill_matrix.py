@@ -1,0 +1,76 @@
+"""Kill matrices for the pacemaker and cruise packs.
+
+Each pack must field a mutation analysis in which the fixed requirement
+scenarios actually kill mutants — the suites are not decorative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults.matrix import default_matrix_spec, run_kill_matrix
+
+PACEMAKER_MUTANTS = (
+    "retarget:t_sense_inhibit:MagnetTest",
+    "drop:t_sense_inhibit:0:o-MarkerState",
+)
+CRUISE_MUTANTS = (
+    "retarget:t_engage:Override",
+    "drop:t_engage:0:o-ThrottleState",
+)
+
+
+def small_matrix(system, mutant_ids, case):
+    """Carve a fast sub-matrix out of the pack's stock spec."""
+    spec = default_matrix_spec(samples=2, base_seed=0, system=system)
+    keep = tuple(m for m in spec.mutants if m.mutant_id in mutant_ids)
+    assert len(keep) == len(mutant_ids), "expected mutants missing from the pack"
+    return dataclasses.replace(
+        spec,
+        mutants=keep,
+        fault_plans=spec.fault_plans[:2],
+        cases=(case,),
+        fault_schemes=(2,),
+        mutant_schemes=(2,),
+    )
+
+
+class TestPackDefaults:
+    @pytest.mark.parametrize("system", ["pacemaker", "cruise"])
+    def test_stock_spec_has_both_axes(self, system):
+        spec = default_matrix_spec(samples=2, system=system)
+        assert spec.system == system
+        assert len(spec.fault_plans) >= 3
+        assert len(spec.mutants) >= 5
+        assert spec.size > 0
+
+    def test_model_must_belong_to_the_system(self):
+        with pytest.raises(ValueError, match="unknown model 'fig2' for system 'pacemaker'"):
+            default_matrix_spec(model="fig2", system="pacemaker")
+
+
+@pytest.mark.slow
+class TestPacemakerKills:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_kill_matrix(small_matrix("pacemaker", PACEMAKER_MUTANTS, "sense-inhibit"))
+
+    def test_both_mutants_are_killed(self, matrix):
+        assert set(matrix.killed_mutants()) == set(PACEMAKER_MUTANTS)
+        assert matrix.mutation_score == 1.0
+
+    def test_render_shows_kills(self, matrix):
+        assert "KILL" in matrix.render()
+
+
+@pytest.mark.slow
+class TestCruiseKills:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_kill_matrix(small_matrix("cruise", CRUISE_MUTANTS, "engage"))
+
+    def test_both_mutants_are_killed(self, matrix):
+        assert set(matrix.killed_mutants()) == set(CRUISE_MUTANTS)
+        assert matrix.mutation_score == 1.0

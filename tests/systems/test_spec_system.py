@@ -1,0 +1,142 @@
+"""The ``system`` axis on campaign specs: round-trips and legacy compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    CasePoint,
+    RunSpec,
+    SchemePoint,
+    M_TEST_NONE,
+    build_case,
+    case_requirement,
+    table_one_spec,
+)
+
+
+def pacemaker_point(case: str = "sense-inhibit", samples: int = 2) -> CasePoint:
+    return CasePoint(case, samples=samples, system="pacemaker")
+
+
+class TestCasePoint:
+    def test_accepts_cases_of_the_named_pack(self):
+        assert pacemaker_point().system == "pacemaker"
+        assert CasePoint("engage", samples=2, system="cruise").case == "engage"
+
+    def test_rejects_cases_of_other_packs(self):
+        with pytest.raises(ValueError, match="unknown campaign scenario 'bolus-request'"):
+            CasePoint("bolus-request", samples=2, system="pacemaker")
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(ValueError, match="unknown system 'nope'"):
+            CasePoint("sense-inhibit", samples=2, system="nope")
+
+
+class TestRunSpecSerialization:
+    def test_default_system_is_omitted_from_payload(self):
+        run = table_one_spec(samples=2).expand()[0]
+        payload = run.to_dict()
+        assert "system" not in payload
+        assert RunSpec.from_dict(payload) == run
+
+    def test_non_default_system_round_trips(self):
+        spec = CampaignSpec(
+            name="pm",
+            schemes=(SchemePoint(2),),
+            cases=(pacemaker_point(),),
+            m_test=M_TEST_NONE,
+            model="pacemaker",
+        )
+        run = spec.expand()[0]
+        payload = run.to_dict()
+        assert payload["system"] == "pacemaker"
+        rebuilt = RunSpec.from_dict(payload)
+        assert rebuilt == run
+        assert rebuilt.system == "pacemaker"
+
+    def test_legacy_payload_without_system_defaults_to_gpca(self):
+        run = table_one_spec(samples=2).expand()[0]
+        payload = run.to_dict()
+        payload.pop("system", None)
+        assert RunSpec.from_dict(payload).system == "gpca"
+
+    def test_non_default_system_is_visible_in_the_label(self):
+        spec = CampaignSpec(
+            name="pm",
+            schemes=(SchemePoint(2),),
+            cases=(pacemaker_point(),),
+            m_test=M_TEST_NONE,
+            model="pacemaker",
+        )
+        assert spec.expand()[0].label == "scheme2/pacemaker:sense-inhibit"
+
+
+class TestCampaignSpecSystems:
+    def test_case_payload_omits_default_system(self):
+        payload = table_one_spec(samples=2).to_dict()
+        assert all("system" not in case for case in payload["cases"])
+
+    def test_campaign_round_trips_mixed_systems(self):
+        spec = CampaignSpec(
+            name="mixed",
+            schemes=(SchemePoint(1), SchemePoint(2)),
+            cases=(
+                CasePoint("bolus-request", samples=2),
+                pacemaker_point(),
+                CasePoint("engage", samples=2, system="cruise"),
+            ),
+            m_test=M_TEST_NONE,
+        )
+        rebuilt = CampaignSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_expand_resolves_each_packs_default_model(self):
+        spec = CampaignSpec(
+            name="mixed",
+            schemes=(SchemePoint(2),),
+            cases=(
+                CasePoint("bolus-request", samples=2),
+                pacemaker_point(),
+                CasePoint("engage", samples=2, system="cruise"),
+            ),
+            m_test=M_TEST_NONE,
+        )
+        models = {run.system: run.model for run in spec.expand()}
+        assert models == {"gpca": "fig2", "pacemaker": "pacemaker", "cruise": "cruise"}
+
+    def test_seed_coordinates_fold_the_system_in(self):
+        # Two case points with the same name in different packs must derive
+        # different seeds; the gpca point keeps its historical derivation.
+        gpca = CampaignSpec(
+            name="a",
+            schemes=(SchemePoint(2),),
+            cases=(CasePoint("bolus-request", samples=2),),
+            m_test=M_TEST_NONE,
+        ).expand()[0]
+        pm = CampaignSpec(
+            name="a",
+            schemes=(SchemePoint(2),),
+            cases=(pacemaker_point("sense-inhibit", 2),),
+            m_test=M_TEST_NONE,
+            model="pacemaker",
+        ).expand()[0]
+        assert gpca.case_seed != pm.case_seed
+        assert gpca.sut_seed != pm.sut_seed
+
+
+class TestBuildCase:
+    def test_build_case_resolves_through_the_pack(self):
+        case = build_case("sense-inhibit", 3, 5, model="pacemaker", system="pacemaker")
+        assert case.requirement.requirement_id == "PACE1"
+        assert len(case.stimuli) == 3
+
+    def test_case_requirement_is_system_aware(self):
+        assert case_requirement("engage", system="cruise").requirement_id == "CC1"
+        assert case_requirement("bolus-request").requirement_id == "REQ1"
+
+    def test_unknown_case_error_lists_the_packs_cases(self):
+        with pytest.raises(ValueError, match="magnet-pace"):
+            build_case("nope", 2, 0, system="pacemaker")
