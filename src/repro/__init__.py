@@ -74,7 +74,7 @@ from . import (
     systems,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

@@ -29,6 +29,7 @@ grid); see ``docs/architecture.md`` for the engine's design notes.
 """
 
 from .cache import ArtifactCache, chart_fingerprint, model_fingerprint, process_cache
+from .profiler import ProfileResult, profile_run
 from .results import SUMMARY_FIELDS, CampaignResult, RunRecord
 from .runner import CampaignRunner, default_worker_count, run_campaign, shard_grid
 from .spec import (
@@ -67,6 +68,7 @@ __all__ = [
     "M_TEST_POLICIES",
     "M_TEST_VIOLATIONS",
     "PRESETS",
+    "ProfileResult",
     "RunRecord",
     "RunSpec",
     "SchemePoint",
@@ -84,6 +86,7 @@ __all__ = [
     "period_sweep_spec",
     "preset_spec",
     "process_cache",
+    "profile_run",
     "run_campaign",
     "scenario_grid_spec",
     "shard_grid",

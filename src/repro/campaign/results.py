@@ -60,6 +60,11 @@ class RunRecord:
     #: Backend resolution of this run (requested/effective/reason); ``None``
     #: for default-backend runs, so pre-backend payloads are unchanged.
     backend_payload: Optional[Dict[str, Any]] = None
+    #: Worker-side per-phase wall-clock (codegen/execute/analyze seconds).
+    #: Timing side channel like ``elapsed_s``: excluded from the canonical
+    #: dict, persisted separately by the store so ``repro store runs`` can
+    #: answer "which coordinates are slow, and in which phase".
+    phase_seconds: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Reconstruction of the report objects the analysis layer consumes
@@ -316,5 +321,10 @@ class CampaignResult:
             "wall_seconds": self.wall_seconds,
             "run_seconds": {
                 str(record.spec.index): record.elapsed_s for record in self.records
+            },
+            "run_phases": {
+                str(record.spec.index): record.phase_seconds
+                for record in self.records
+                if record.phase_seconds is not None
             },
         }

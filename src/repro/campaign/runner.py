@@ -12,19 +12,30 @@ byte-identical for any worker count.
 Round-robin sharding (``runs[i::N]``) balances the load when the grid is
 sorted by configuration: expensive points (e.g. interfered-scheme runs) end
 up spread across shards instead of stacked on one worker.
+
+Telemetry (``CampaignRunner(telemetry=...)``) rides alongside, never inside:
+the runner keeps a :class:`repro.obs.CampaignProgress` accumulator up to date
+as runs and shards complete, persists throttled snapshots into the attached
+store (serving ``/progress/<campaign>``), and folds campaign counters into
+the telemetry registry — all outside the workers, so enabling it cannot
+change a record.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import NULL_TELEMETRY, CampaignProgress
 from .results import CampaignResult, RunRecord
 from .spec import CampaignSpec, RunSpec
 from .worker import execute_shard
+
+#: Minimum seconds between store progress snapshots (final write always lands).
+PROGRESS_WRITE_INTERVAL_S = 0.5
 
 
 def default_worker_count() -> int:
@@ -62,12 +73,26 @@ class CampaignRunner:
     only skip recomputing it.
     """
 
-    def __init__(self, spec: CampaignSpec, *, workers: int = 1, store=None, resume: bool = False) -> None:
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        workers: int = 1,
+        store=None,
+        resume: bool = False,
+        telemetry=None,
+    ) -> None:
         """``workers=0`` means auto-detect: one worker per schedulable CPU.
 
         ``store`` is a :class:`repro.store.RunStore` (duck-typed: anything
         with ``lookup`` / ``put_records`` / ``save_campaign``); ``resume``
         additionally reuses stored records instead of re-executing them.
+
+        ``telemetry`` is a :class:`repro.obs.Telemetry` (defaults to the null
+        sink).  When enabled, campaign counters land in its registry and —
+        with a store attached — live progress snapshots are persisted for
+        ``/progress/<campaign>``.  Telemetry observes the runner only; the
+        records are byte-identical either way.
         """
         if workers < 0:
             raise ValueError("worker count cannot be negative")
@@ -77,6 +102,9 @@ class CampaignRunner:
         self.workers = workers if workers > 0 else default_worker_count()
         self.store = store
         self.resume = resume
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Live progress of the current/last :meth:`run` (telemetry-enabled).
+        self.progress: Optional[CampaignProgress] = None
         #: Set after :meth:`run` when a pool failure forced the serial path.
         self.fell_back_to_serial = False
         #: The error message of the pool failure, when one occurred.
@@ -87,12 +115,21 @@ class CampaignRunner:
         self.reused_count = 0
         #: Campaign snapshot id recorded on the last store-backed :meth:`run`.
         self.campaign_id: Optional[str] = None
+        self._last_progress_write = 0.0
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
         """Execute every (missing) run of the grid and aggregate in grid order."""
         runs = self.spec.expand()
         started = time.perf_counter()
+        telemetry = self.telemetry
+        progress: Optional[CampaignProgress] = None
+        if telemetry.enabled:
+            progress = CampaignProgress(
+                self.spec.name, len(runs), workers=self.workers
+            )
+            self.progress = progress
+            self._last_progress_write = 0.0
         reused: List[RunRecord] = []
         missing: Sequence[RunSpec] = runs
         if self.resume:
@@ -103,13 +140,21 @@ class CampaignRunner:
                     missing.append(spec)
                 else:
                     reused.append(record)
+            if progress is not None and reused:
+                progress.record_cached(len(reused))
+                self._persist_progress(progress)
         fresh: List[RunRecord] = []
         workers_used = 1
         if missing:
+            if progress is not None:
+                progress.record_started(len(missing))
             if self.workers <= 1 or len(missing) <= 1:
-                fresh = execute_shard(missing)
+                fresh = execute_shard(
+                    missing,
+                    progress=None if progress is None else self._on_run_complete,
+                )
             else:
-                fresh = self._run_sharded(missing)
+                fresh = self._run_sharded(missing, progress)
                 workers_used = 1 if self.fell_back_to_serial else min(self.workers, len(missing))
         self.executed_count = len(fresh)
         self.reused_count = len(reused)
@@ -123,18 +168,65 @@ class CampaignRunner:
             # save_campaign persists every record (fresh ones included) plus
             # the snapshot in one pass — no separate put_records needed.
             self.campaign_id = self.store.save_campaign(result)
+        if progress is not None:
+            progress.finish()
+            self._persist_progress(progress, force=True)
+            telemetry.count("campaign_runs_completed", len(fresh))
+            telemetry.count("campaign_runs_cached", len(reused))
+            telemetry.observe("campaign_wall_seconds", result.wall_seconds)
         return result
 
     # ------------------------------------------------------------------
-    def _run_sharded(self, runs: Sequence[RunSpec]) -> List[RunRecord]:
+    def _on_run_complete(self, record: RunRecord) -> None:
+        """Serial-path progress hook: one record finished in-process."""
+        progress = self.progress
+        progress.record_completed()
+        self._persist_progress(progress)
+
+    def _persist_progress(self, progress: CampaignProgress, force: bool = False) -> None:
+        """Write a progress snapshot to the store, throttled to one every
+        :data:`PROGRESS_WRITE_INTERVAL_S` (progress is advisory; hammering
+        SQLite once per run of a 10k-run campaign is not)."""
+        store = self.store
+        if store is None:
+            return
+        save = getattr(store, "save_progress", None)
+        if save is None:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_progress_write < PROGRESS_WRITE_INTERVAL_S:
+            return
+        self._last_progress_write = now
+        save(progress.snapshot())
+
+    # ------------------------------------------------------------------
+    def _run_sharded(
+        self, runs: Sequence[RunSpec], progress: Optional[CampaignProgress] = None
+    ) -> List[RunRecord]:
         shards = shard_grid(runs, self.workers)
         try:
             with ProcessPoolExecutor(max_workers=len(shards)) as executor:
-                shard_results = list(executor.map(execute_shard, shards))
+                # Per-shard futures instead of executor.map: progress can be
+                # recorded as each shard lands.  Results reassemble in shard
+                # order, and CampaignResult re-sorts by grid index anyway, so
+                # completion order can never leak into the aggregate.
+                futures = {
+                    executor.submit(execute_shard, shard): position
+                    for position, shard in enumerate(shards)
+                }
+                shard_results: List[Optional[List[RunRecord]]] = [None] * len(shards)
+                for future in as_completed(futures):
+                    records = future.result()
+                    shard_results[futures[future]] = records
+                    if progress is not None:
+                        progress.record_completed(len(records))
+                        self._persist_progress(progress)
         except (OSError, BrokenProcessPool) as error:  # pool unavailable: run serially
             self.fell_back_to_serial = True
             self.fallback_reason = str(error)
-            return execute_shard(runs)
+            return execute_shard(
+                runs, progress=None if progress is None else self._on_run_complete
+            )
         return [record for shard_records in shard_results for record in shard_records]
 
 

@@ -15,13 +15,14 @@ run.
 from __future__ import annotations
 
 import time
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..codegen.c_backend import resolve_backend
 from ..core.instrumentation import ProbeConfiguration
 from ..core.m_testing import MTestAnalyzer
 from ..core.r_testing import execute_r_test
 from ..core.serialization import m_report_to_dict, r_report_to_dict
+from ..obs import DEFAULT_PHASE_EDGES_S as _PHASE_EDGES, REGISTRY
 from ..systems import get_pack
 from .cache import process_cache
 from .results import RunRecord
@@ -64,12 +65,18 @@ def execute_run(spec: RunSpec) -> RunRecord:
     # (e.g. no C compiler) falls back to the Python executor and is recorded
     # in the run record.
     resolution = resolve_backend(spec.backend, artifacts)
+    codegen_done = time.perf_counter()
 
     # Runs that skip M-testing only need the R-level (M/C) trace events;
     # recording the i/o/transition probe events costs hot-loop time without
     # affecting the R verdicts (probes never touch M/C events or the RNG), so
     # they are gated off.  M-testing runs keep the full M-level probes.
     probes = ProbeConfiguration.r_level() if spec.m_test == M_TEST_NONE else None
+
+    # The last system the factory built is captured for the post-run counter
+    # pull: execute_r_test builds its systems internally, and the kernel /
+    # scheduler counters can only be read off the built instance afterwards.
+    built = []
 
     def factory():
         system = pack.build_system(
@@ -86,9 +93,11 @@ def execute_run(spec: RunSpec) -> RunRecord:
             spec.faults.instrument(
                 system, seed=derive_seed(spec.sut_seed, "faults", spec.faults.name, spec.case)
             )
+        built.append(system)
         return system
 
     r_report = execute_r_test(factory, test_case)
+    execute_done = time.perf_counter()
 
     m_payload = None
     if spec.m_test != M_TEST_NONE:
@@ -98,18 +107,57 @@ def execute_run(spec: RunSpec) -> RunRecord:
         else:
             m_report = analyzer.analyze(r_report.trace, sut_name=r_report.sut_name)
         m_payload = m_report_to_dict(m_report)
+    r_payload = r_report_to_dict(r_report)
+    finished = time.perf_counter()
+
+    # Post-run bookkeeping, outside every simulation loop: fold the engine's
+    # lifetime counters and the phase timings into the process-local registry.
+    # Pull-collection keeps this off the hot path entirely — it is a handful
+    # of dict updates per *run*, not per event.
+    REGISTRY.counter("runs_executed_total").inc()
+    for system in built:
+        snapshot = getattr(system, "telemetry_snapshot", None)
+        if snapshot is not None:
+            for name, value in snapshot().items():
+                if value:
+                    REGISTRY.counter(name + "_total").inc(int(value))
+    phase_seconds = {
+        "codegen": codegen_done - started,
+        "execute": execute_done - codegen_done,
+        "analyze": finished - execute_done,
+    }
+    for phase, seconds in phase_seconds.items():
+        REGISTRY.histogram(
+            "run_phase_seconds", edges=_PHASE_EDGES, labels={"phase": phase}
+        ).observe(seconds)
 
     return RunRecord(
         spec=spec,
-        r_payload=r_report_to_dict(r_report),
+        r_payload=r_payload,
         m_payload=m_payload,
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=finished - started,
         backend_payload=(
             None if spec.backend == BACKEND_PYTHON else resolution.to_payload()
         ),
+        phase_seconds={k: round(v, 6) for k, v in phase_seconds.items()},
     )
 
 
-def execute_shard(specs: Sequence[RunSpec]) -> List[RunRecord]:
-    """Execute one shard of the grid inside a single worker process."""
-    return [execute_run(spec) for spec in specs]
+def execute_shard(
+    specs: Sequence[RunSpec],
+    progress: Optional[Callable[[RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Execute one shard of the grid inside a single worker process.
+
+    ``progress`` (serial path only — callables do not cross the process
+    boundary) is invoked with each record as it completes, which is how the
+    runner feeds live campaign telemetry without touching the workers.
+    """
+    if progress is None:
+        return [execute_run(spec) for spec in specs]
+    records: List[RunRecord] = []
+    for spec in specs:
+        record = execute_run(spec)
+        records.append(record)
+        progress(record)
+    return records

@@ -1,7 +1,7 @@
 """Command-line interface for the layered timing-testing framework.
 
-Ten sub-commands cover the everyday workflows on the registered case-study
-systems (the GPCA pump by default)::
+Eleven sub-commands cover the everyday workflows on the registered
+case-study systems (the GPCA pump by default)::
 
     python -m repro verify    [--extended]
     python -m repro codegen   [--extended] [--output FILE]
@@ -17,8 +17,10 @@ systems (the GPCA pump by default)::
     python -m repro faults    [--samples N] [--workers N] [--seed S]
                               [--system ID] [--model NAME] [--hunt N]
                               [--list] [--json FILE] [--store DB] [--resume]
+    python -m repro profile   [--grid NAME] [--index I] [--samples N]
+                              [--seed S] [--timeline FILE] [--list]
     python -m repro store     {list | runs | diff | export} --db DB ...
-    python -m repro serve     --store DB [--host HOST] [--port PORT]
+    python -m repro serve     --store DB [--host HOST] [--port PORT] [--quiet]
 
 Every command prints its report to stdout; the optional file arguments
 additionally write machine-readable artefacts (JSON/CSV/C source/text).
@@ -44,7 +46,13 @@ records every run and a campaign snapshot into a SQLite run store, and
 inspects a store — ``list`` (snapshots), ``runs`` (stored runs), ``diff``
 (regression analysis between two snapshots), ``export`` (Table I / CSV from
 a snapshot) — and ``repro serve`` exposes it as a JSON HTTP API with ETag
-caching.  ``repro --version`` prints the installed package version.
+caching, live ``/metrics`` (JSON or Prometheus text) and ``/progress/<name>``
+campaign telemetry, plus one structured JSON log line per request (silence
+with ``--quiet``).  ``repro profile`` executes one grid coordinate with the
+span tracer attached (:mod:`repro.obs`) and writes a Chrome-trace timeline
+that opens in ``chrome://tracing`` or Perfetto; the profiled record is
+byte-identical to the equivalent campaign run.  ``repro --version`` prints
+the installed package version.
 
 Exit codes, shared by every sub-command:
 
@@ -75,7 +83,14 @@ from typing import Optional, Sequence
 
 from .analysis import SchemeResult, TableOne, render_sweep
 from .analysis.export import table_one_to_csv, table_one_to_markdown
-from .campaign import PRESETS, CampaignRunner, default_worker_count, preset_spec, process_cache
+from .campaign import (
+    PRESETS,
+    CampaignRunner,
+    default_worker_count,
+    preset_spec,
+    process_cache,
+    profile_run,
+)
 from .codegen import generate_code
 from .faults import KillMatrix, SurvivorHunter, default_matrix_spec
 from .core import MTestAnalyzer, RTestRunner, render_m_report, render_r_report
@@ -92,6 +107,7 @@ from .gpca import (
     scheme_name,
 )
 from .model.verification import BoundedResponseChecker
+from .obs import Telemetry
 from .scenarios import CoverageGuidedExplorer
 from .store import ENDPOINTS, RunStore, StoreError, StoreServer, diff_snapshots
 from .systems import DEFAULT_SYSTEM, get_pack, iter_packs, pack_ids
@@ -190,6 +206,59 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one grid coordinate: span timeline + per-phase self-time table.
+
+    Executes exactly the run a campaign of the same grid would execute at
+    ``--index`` (the record is byte-identical, pinned by the obs test suite),
+    with the :mod:`repro.obs` span tracer attached: worker phases
+    (codegen → build → execute → analyze) land on the wall-clock lane and
+    every scheduler compute segment / deadline miss lands on the simulated
+    micro-second lane.  ``--timeline`` writes the Chrome-trace JSON, which
+    opens directly in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    try:
+        spec = preset_spec(args.grid, samples=args.samples, seed=args.seed)
+    except ValueError as error:
+        print(f"repro profile: error: {error}", file=sys.stderr)
+        return 2
+    runs = spec.expand()
+    if args.list:
+        print(f"grid {spec.name!r}: {len(runs)} coordinates")
+        for run in runs:
+            print(f"  {run.index:>4}  scheme{run.scheme}/{run.case:<24} model={run.model}")
+        return 0
+    if not 0 <= args.index < len(runs):
+        print(
+            f"repro profile: error: index {args.index} outside grid "
+            f"{spec.name!r} (0..{len(runs) - 1})",
+            file=sys.stderr,
+        )
+        return 2
+    run_spec = runs[args.index]
+    print(
+        f"profiling {spec.name!r}[{run_spec.index}]: scheme{run_spec.scheme}/"
+        f"{run_spec.case} model={run_spec.model} system={run_spec.system} "
+        f"({run_spec.samples} samples)"
+    )
+    result = profile_run(run_spec)
+    record = result.record
+    print(
+        f"verdict: {'PASS' if record.passed else 'FAIL'} "
+        f"(violations={record.violation_count}, timeouts={record.timeout_count})"
+    )
+    print()
+    print(result.self_time_table())
+    if result.counters:
+        print()
+        print("engine counters:")
+        for name in sorted(result.counters):
+            print(f"  {name:<28} {result.counters[name]}")
+    result.write_timeline(args.timeline)
+    print(f"timeline written to {args.timeline} (open in chrome://tracing or Perfetto)")
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run one of the stock R-/M-testing campaign grids, optionally in parallel."""
     if args.workers < 0:
@@ -222,8 +291,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     except StoreError as error:
         print(f"repro campaign: error: {error}", file=sys.stderr)
         return 1
+    # With a store attached, enable telemetry so live progress snapshots land
+    # in it for `repro serve` /progress/<name>.  Records stay byte-identical.
+    telemetry = Telemetry() if store is not None else None
     try:
-        runner = CampaignRunner(spec, workers=args.workers, store=store, resume=args.resume)
+        runner = CampaignRunner(
+            spec, workers=args.workers, store=store, resume=args.resume, telemetry=telemetry
+        )
         result = runner.run()
     finally:
         if store is not None:
@@ -395,8 +469,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
     except StoreError as error:
         print(f"repro faults: error: {error}", file=sys.stderr)
         return 1
+    telemetry = Telemetry() if store is not None else None
     try:
-        runner = CampaignRunner(spec, workers=args.workers, store=store, resume=args.resume)
+        runner = CampaignRunner(
+            spec, workers=args.workers, store=store, resume=args.resume, telemetry=telemetry
+        )
         result = runner.run()
     finally:
         if store is not None:
@@ -483,14 +560,41 @@ def _store_action(store: RunStore, args: argparse.Namespace) -> int:
         return 0
 
     if args.action == "runs":
-        rows = store.run_rows(scheme=args.scheme, case=args.case, limit=args.limit)
-        print(f"store {args.db}: {len(rows)} matching run(s) of {counts['runs']}")
+        try:
+            rows = store.run_rows(
+                scheme=args.scheme,
+                case=args.case,
+                system=args.system,
+                limit=args.limit,
+                offset=args.offset,
+                order="slowest" if args.slowest else "newest",
+            )
+        except ValueError as error:
+            print(f"repro store: error: {error}", file=sys.stderr)
+            return 2
+        order_note = "slowest first" if args.slowest else "newest first"
+        print(
+            f"store {args.db}: {len(rows)} matching run(s) of {counts['runs']} "
+            f"({order_note})"
+        )
         for row in rows:
             injected = row["fault_plan"] or row["mutant"] or "-"
+            timing = row.get("timing")
+            if timing is not None:
+
+                def _fmt(value):
+                    return "-" if value is None else f"{value:.2f}"
+
+                phases = "/".join(
+                    _fmt(timing.get(key)) for key in ("codegen_s", "execute_s", "analyze_s")
+                )
+                timed = f"  {_fmt(timing.get('elapsed_s'))}s (c/e/a {phases})"
+            else:
+                timed = ""
             print(
                 f"  {row['key'][:16]}  scheme{row['scheme']}/{row['case']:<22} "
                 f"{'PASS' if row['passed'] else 'FAIL':>4}  viol={row['violations']:<3} "
-                f"MAX={row['timeouts']:<3} inject={injected}"
+                f"MAX={row['timeouts']:<3} inject={injected}{timed}"
             )
         return 0
 
@@ -542,7 +646,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except StoreError as error:
         print(f"repro serve: error: {error}", file=sys.stderr)
         return 1
-    server = StoreServer(store, host=args.host, port=args.port, verbose=True)
+    server = StoreServer(store, host=args.host, port=args.port, verbose=not args.quiet)
     counts = store.counts()
     print(
         f"serving {args.store} ({counts['runs']} runs, {counts['campaigns']} snapshots) "
@@ -704,6 +808,40 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=7)
     table1.add_argument("--output", help="write the rendered table to this file")
     table1.set_defaults(handler=cmd_table1)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile one grid coordinate: Chrome-trace timeline + self-time table",
+    )
+    profile.add_argument(
+        "--grid",
+        choices=PRESETS,
+        default="table1",
+        help="which stock grid the coordinate comes from (default: table1)",
+    )
+    profile.add_argument(
+        "--index",
+        type=int,
+        default=0,
+        help="grid coordinate to profile (default: 0; see --list)",
+    )
+    profile.add_argument(
+        "--samples", type=int, default=None, help="samples per test case (default: grid-specific)"
+    )
+    profile.add_argument(
+        "--seed", type=int, default=None, help="campaign seed (default: grid-specific)"
+    )
+    profile.add_argument(
+        "--timeline",
+        default="timeline.json",
+        help="write the Chrome-trace timeline here (default: timeline.json)",
+    )
+    profile.add_argument(
+        "--list",
+        action="store_true",
+        help="list the grid's coordinates (index, scheme, case) without running",
+    )
+    profile.set_defaults(handler=cmd_profile)
 
     campaign = subparsers.add_parser(
         "campaign", help="run an R-/M-testing campaign grid (optionally in parallel)"
@@ -871,7 +1009,16 @@ def build_parser() -> argparse.ArgumentParser:
     store_runs.add_argument("--db", required=True, help="run-store file")
     store_runs.add_argument("--scheme", type=int, help="only runs of this scheme")
     store_runs.add_argument("--case", help="only runs of this scenario")
-    store_runs.add_argument("--limit", type=int, help="at most this many rows (newest first)")
+    store_runs.add_argument("--system", help="only runs of this system pack")
+    store_runs.add_argument("--limit", type=int, help="at most this many rows")
+    store_runs.add_argument(
+        "--offset", type=int, default=0, help="skip this many rows first (default: 0)"
+    )
+    store_runs.add_argument(
+        "--slowest",
+        action="store_true",
+        help="order by stored wall-clock, slowest first (default: newest first)",
+    )
     store_runs.set_defaults(handler=cmd_store)
 
     store_diff = store_actions.add_parser(
@@ -913,6 +1060,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
     serve.add_argument(
         "--port", type=int, default=8035, help="TCP port (default: 8035; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-request structured log lines on stderr",
     )
     serve.set_defaults(handler=cmd_serve)
 

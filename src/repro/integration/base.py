@@ -262,5 +262,25 @@ class ImplementedSystem(SystemUnderTest):
         """Per-task scheduler statistics, keyed by task name (for reports/tests)."""
         return {task.name: task.stats for task in self.scheduler.tasks}
 
+    def telemetry_snapshot(self) -> Dict[str, int]:
+        """Kernel + scheduler lifetime counters in one flat dict.
+
+        The pull surface for :mod:`repro.obs`: the campaign worker calls this
+        once after a run and folds the counts into the metrics registry, so
+        the simulation itself never touches telemetry.  Engines without the
+        counters (the frozen seed kernel) report what they have.
+        """
+        snapshot: Dict[str, int] = {}
+        simulator = self.bundle.simulator
+        counters = getattr(simulator, "counters", None)
+        if counters is not None:
+            snapshot.update(counters())
+        else:  # seed engine: processed count only
+            snapshot["kernel_events_processed"] = simulator.events_processed
+        stats = getattr(self.scheduler, "scheduler_stats", None)
+        if stats is not None:
+            snapshot.update(stats())
+        return snapshot
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(scheme={self.scheme_name!r}, built={self._built})"

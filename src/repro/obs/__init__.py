@@ -1,0 +1,51 @@
+"""``repro.obs`` — the zero-perturbation observability layer.
+
+The framework equivalent of the paper's layered measurement probes
+(:mod:`repro.core.instrumentation`): observe the stack — kernel, scheduler,
+campaign, store, server — without perturbing it.  Three pieces:
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms with
+  fixed deterministic bucket edges, rendered as JSON or Prometheus text on
+  ``repro serve``'s ``/metrics``.
+* :mod:`repro.obs.spans` — a span tracer emitting Chrome-trace/Perfetto
+  JSON timelines (``repro profile``), with a framework wall-clock lane and a
+  simulation virtual-time lane.
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade and the
+  :data:`NULL_TELEMETRY` null sink; disabled telemetry costs near-nothing
+  because hot loops are never instrumented directly — their counters are
+  pulled after the fact.
+* :mod:`repro.obs.progress` — live campaign progress with ETA, persisted by
+  the runner and served on ``/progress/<campaign>``.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_EDGES_S,
+    DEFAULT_PHASE_EDGES_S,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .progress import CampaignProgress
+from .spans import Span, SpanTracer, render_self_time_table
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+__all__ = [
+    "CampaignProgress",
+    "Counter",
+    "DEFAULT_LATENCY_EDGES_S",
+    "DEFAULT_PHASE_EDGES_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "REGISTRY",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "get_registry",
+    "render_self_time_table",
+]

@@ -1,0 +1,283 @@
+"""Span timelines: Chrome-trace/Perfetto-compatible JSON from framework phases.
+
+A :class:`SpanTracer` records named intervals (spans) on a small set of
+*lanes* and renders them as a Chrome trace-event JSON document — the format
+``chrome://tracing`` and https://ui.perfetto.dev open directly.  Two lanes
+matter here:
+
+* ``pid 1`` — **framework** wall-clock lane: codegen/build, execute, analyze
+  phases measured with an injected monotonic source.
+* ``pid 2`` — **simulation** virtual-time lane: task execution segments and
+  deadline misses stamped with the simulated clock (microseconds), pulled
+  from the scheduler after a run so the hot loop never sees the tracer.
+
+Timestamps inside the simulation lane come from the deterministic simulated
+clock, so a timeline re-rendered from the same run is byte-identical.  The
+framework lane uses the injected monotonic source (``time.perf_counter`` in
+production, a fake in tests) and is the only part of a profile that varies
+between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "SpanTracer", "render_self_time_table"]
+
+#: Lane ids in the rendered timeline.
+FRAMEWORK_PID = 1
+SIMULATION_PID = 2
+
+
+class Span:
+    """One completed interval: ``ts``/``dur`` are microseconds (trace units)."""
+
+    __slots__ = ("name", "category", "ts_us", "dur_us", "pid", "tid", "args")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        dur_us: float,
+        pid: int,
+        tid: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.ts_us = ts_us
+        self.dur_us = dur_us
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    def to_event(self) -> Dict[str, Any]:
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "ts": self.ts_us,
+            "dur": self.dur_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.args:
+            event["args"] = self.args
+        return event
+
+
+class SpanTracer:
+    """Collects spans and instant events; renders Chrome-trace JSON.
+
+    ``monotonic`` is the injected time source for the framework lane —
+    seconds, monotonic, never wall-clock-of-day.  The simulation lane never
+    consults it: simulated timestamps are supplied by the caller.
+    """
+
+    def __init__(self, monotonic: Optional[Callable[[], float]] = None) -> None:
+        if monotonic is None:
+            from time import perf_counter as monotonic  # type: ignore[no-redef]
+        self._monotonic = monotonic
+        self._origin = monotonic()
+        self._spans: List[Span] = []
+        self._instants: List[Dict[str, Any]] = []
+        self._thread_names: Dict[Tuple[int, int], str] = {}
+        self.name_thread(FRAMEWORK_PID, 0, "run phases")
+
+    # ------------------------------------------------------------------
+    # Framework lane (wall clock via injected monotonic source)
+    # ------------------------------------------------------------------
+    def now_us(self) -> float:
+        """Microseconds since tracer creation, from the injected source."""
+        return (self._monotonic() - self._origin) * 1e6
+
+    def begin(self) -> float:
+        """A start stamp for :meth:`end` (framework lane)."""
+        return self.now_us()
+
+    def end(
+        self,
+        name: str,
+        started_us: float,
+        *,
+        category: str = "phase",
+        tid: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Close a framework-lane span opened with :meth:`begin`."""
+        now = self.now_us()
+        span = Span(name, category, started_us, now - started_us, FRAMEWORK_PID, tid, args)
+        self._spans.append(span)
+        return span
+
+    class _Phase:
+        __slots__ = ("_tracer", "_name", "_category", "_args", "_started")
+
+        def __init__(self, tracer: "SpanTracer", name: str, category: str, args) -> None:
+            self._tracer = tracer
+            self._name = name
+            self._category = category
+            self._args = args
+
+        def __enter__(self) -> "SpanTracer._Phase":
+            self._started = self._tracer.begin()
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            self._tracer.end(
+                self._name, self._started, category=self._category, args=self._args
+            )
+
+    def phase(
+        self,
+        name: str,
+        *,
+        category: str = "phase",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> "SpanTracer._Phase":
+        """``with tracer.phase("execute"): ...`` — a framework-lane span."""
+        return SpanTracer._Phase(self, name, category, args)
+
+    # ------------------------------------------------------------------
+    # Simulation lane (virtual microseconds supplied by the caller)
+    # ------------------------------------------------------------------
+    def sim_span(
+        self,
+        name: str,
+        start_us: float,
+        end_us: float,
+        *,
+        category: str = "task",
+        tid: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A span on the simulated-time lane (e.g. a task execution segment)."""
+        self._spans.append(
+            Span(name, category, start_us, end_us - start_us, SIMULATION_PID, tid, args)
+        )
+
+    def sim_instant(
+        self,
+        name: str,
+        at_us: float,
+        *,
+        category: str = "event",
+        tid: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """An instant marker on the simulated-time lane (e.g. a deadline miss)."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": category,
+            "ph": "i",
+            "s": "t",
+            "ts": at_us,
+            "pid": SIMULATION_PID,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._instants.append(event)
+
+    # ------------------------------------------------------------------
+    # Naming + rendering
+    # ------------------------------------------------------------------
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(pid, tid)] = name
+
+    @property
+    def spans(self) -> List[Span]:
+        return self._spans
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The collected timeline as a Chrome trace-event JSON document."""
+        events: List[Dict[str, Any]] = []
+        used_pids = {span.pid for span in self._spans}
+        used_pids.update(event["pid"] for event in self._instants)
+        process_names = {
+            FRAMEWORK_PID: "framework (wall clock)",
+            SIMULATION_PID: "simulation (virtual time)",
+        }
+        for pid in sorted(used_pids):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process_names.get(pid, f"pid {pid}")},
+                }
+            )
+        for (pid, tid), name in sorted(self._thread_names.items()):
+            if pid in used_pids:
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": name},
+                    }
+                )
+        events.extend(span.to_event() for span in self._spans)
+        events.extend(self._instants)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_timeline(self, path) -> None:
+        """Write the Chrome-trace JSON to ``path`` (openable in Perfetto)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def self_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name totals on the framework lane.
+
+        Self-time subtracts the duration of spans *nested inside* a span on
+        the same thread, so a parent phase is not double-charged for its
+        children.  Returns ``{name: {"total_us", "self_us", "count"}}``.
+        """
+        framework = sorted(
+            (span for span in self._spans if span.pid == FRAMEWORK_PID),
+            key=lambda span: (span.tid, span.ts_us, -span.dur_us),
+        )
+        table: Dict[str, Dict[str, float]] = {}
+        # Stack-based nesting pass per thread: a span is a child of the most
+        # recent still-open span that fully contains it.
+        open_stack: List[Span] = []
+        child_time: Dict[int, float] = {}
+        current_tid: Optional[int] = None
+        for span in framework:
+            if span.tid != current_tid:
+                open_stack = []
+                current_tid = span.tid
+            while open_stack and span.ts_us >= open_stack[-1].ts_us + open_stack[-1].dur_us:
+                open_stack.pop()
+            if open_stack:
+                parent = open_stack[-1]
+                child_time[id(parent)] = child_time.get(id(parent), 0.0) + span.dur_us
+            open_stack.append(span)
+        for span in framework:
+            row = table.setdefault(
+                span.name, {"total_us": 0.0, "self_us": 0.0, "count": 0}
+            )
+            row["total_us"] += span.dur_us
+            row["self_us"] += span.dur_us - child_time.get(id(span), 0.0)
+            row["count"] += 1
+        return table
+
+
+def render_self_time_table(self_times: Dict[str, Dict[str, float]]) -> str:
+    """An aligned text table of per-phase self times, widest first."""
+    rows = sorted(
+        self_times.items(), key=lambda item: (-item[1]["self_us"], item[0])
+    )
+    header = f"{'phase':<24} {'count':>5} {'total (ms)':>12} {'self (ms)':>12}"
+    lines = [header, "-" * len(header)]
+    for name, row in rows:
+        lines.append(
+            f"{name:<24} {int(row['count']):>5} "
+            f"{row['total_us'] / 1000.0:>12.3f} {row['self_us'] / 1000.0:>12.3f}"
+        )
+    return "\n".join(lines)

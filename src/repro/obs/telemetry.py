@@ -1,0 +1,132 @@
+"""The telemetry facade and the null sink.
+
+:class:`Telemetry` bundles the two collection surfaces — a
+:class:`~repro.obs.metrics.MetricsRegistry` and an optional
+:class:`~repro.obs.spans.SpanTracer` — behind one object that the campaign
+layer passes down (``CampaignRunner(telemetry=...)``).
+
+:data:`NULL_TELEMETRY` is the disabled mode and the reason the hot loops pay
+near-nothing: it is a module-level singleton whose every method is a no-op
+and whose ``phase()`` returns one shared, reusable no-op context manager —
+no allocation, no branching beyond an attribute call, nothing conditional
+inside the kernel or scheduler loops themselves (those loops never call
+telemetry at all; their counters are *pulled* afterwards).
+
+Determinism rules (the repo's signature constraint):
+
+* Telemetry never draws from any RNG and never writes into any structure the
+  engine reads, so enabling it cannot change a verdict, a trace, or a store
+  coordinate.
+* Inside the simulation, the only clock telemetry sees is the simulated one
+  (already deterministic).  Outside it, spans use an injected monotonic
+  source — ``time.perf_counter`` by default, a fake in tests — never
+  wall-clock-of-day.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .metrics import MetricsRegistry, REGISTRY
+from .spans import SpanTracer
+
+__all__ = ["NULL_TELEMETRY", "NullTelemetry", "Telemetry"]
+
+
+class _NullPhase:
+    """A reusable no-op context manager (one instance for the whole process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class Telemetry:
+    """Enabled telemetry: a metrics registry plus an optional span tracer."""
+
+    __slots__ = ("registry", "tracer")
+
+    #: Class-level flag: ``telemetry.enabled`` avoids isinstance checks.
+    enabled = True
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        *,
+        spans: bool = False,
+        monotonic: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else REGISTRY
+        if tracer is None and spans:
+            tracer = SpanTracer(monotonic)
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: int = 1, **labels: Any) -> None:
+        self.registry.counter(name, labels=labels or None).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.registry.gauge(name, labels=labels or None).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.registry.histogram(name, labels=labels or None).observe(value)
+
+    def pull_counters(self, counters: Dict[str, int], *, prefix: str = "") -> None:
+        """Fold a ``{name: count}`` snapshot (e.g. kernel counters) into the
+        registry — the pull-collection half of the null-sink pattern."""
+        for name, value in counters.items():
+            if value:
+                self.registry.counter(prefix + name).inc(int(value))
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def phase(self, name: str, **args: Any):
+        """A span context for a framework phase; no-op without a tracer."""
+        if self.tracer is None:
+            return _NULL_PHASE
+        return self.tracer.phase(name, args=args or None)
+
+
+class NullTelemetry:
+    """Disabled telemetry: every method is a no-op, ``phase()`` is shared.
+
+    Structurally a drop-in for :class:`Telemetry` so call sites never branch
+    on mode — they just call, and in the disabled case the call is an empty
+    method returning immediately.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    registry = None
+    tracer = None
+
+    def count(self, name: str, amount: int = 1, **labels: Any) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        return None
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        return None
+
+    def pull_counters(self, counters: Dict[str, int], *, prefix: str = "") -> None:
+        return None
+
+    def phase(self, name: str, **args: Any) -> _NullPhase:
+        return _NULL_PHASE
+
+
+#: The module-level null sink: the default everywhere telemetry is optional.
+NULL_TELEMETRY = NullTelemetry()

@@ -142,6 +142,8 @@ class Simulator:
         self._running = False
         self._stop_requested = False
         self._stale = 0  # cancelled entries still sitting in the heap
+        self._cancellations = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -165,6 +167,30 @@ class Simulator:
         """
         return len(self._queue) - self._stale
 
+    @property
+    def cancellations(self) -> int:
+        """Number of pending events cancelled so far (diagnostic)."""
+        return self._cancellations
+
+    @property
+    def compactions(self) -> int:
+        """Number of lazy heap rebuilds triggered so far (diagnostic)."""
+        return self._compactions
+
+    def counters(self) -> dict:
+        """A telemetry snapshot of the kernel's lifetime counters.
+
+        The counters are maintained unconditionally (single integer adds on
+        paths that already do bookkeeping, never in the batched dispatch
+        loop), so this is the pull-collection surface for :mod:`repro.obs`:
+        the kernel never calls telemetry; telemetry reads the kernel.
+        """
+        return {
+            "kernel_events_processed": self._processed,
+            "kernel_cancellations": self._cancellations,
+            "kernel_compactions": self._compactions,
+        }
+
     def _note_cancelled(self) -> None:
         """A pending handle was cancelled; reclaim the heap when stale entries dominate.
 
@@ -174,10 +200,12 @@ class Simulator:
         ``(time, priority, sequence)`` dispatch order exactly.
         """
         self._stale += 1
+        self._cancellations += 1
         if self._stale >= self._COMPACTION_MIN_STALE and self._stale * 2 > len(self._queue):
             self._queue = [entry for entry in self._queue if not entry[3]._cancelled]
             heapq.heapify(self._queue)
             self._stale = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # Scheduling

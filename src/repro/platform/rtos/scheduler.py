@@ -40,6 +40,30 @@ class SchedulerError(RuntimeError):
     """Raised on scheduler misuse (duplicate task names, bad directives, ...)."""
 
 
+class NullSchedulerObserver:
+    """The default (disabled) scheduler observer: every hook is a no-op.
+
+    The observability layer replaces ``scheduler.observer`` with a collector
+    when span timelines are requested (``repro profile``); the scheduler
+    itself never knows whether anyone is listening.  The hooks fire on the
+    per-segment paths only — completion, preemption, deadline miss — never
+    inside the per-directive loop, and they receive the simulated clock's
+    values, so an attached observer cannot perturb the simulation.
+    """
+
+    __slots__ = ()
+
+    def segment(self, task_name: str, start_us: int, end_us: int, preempted: bool) -> None:
+        """A compute segment ended (completed or preempted) on the CPU."""
+
+    def deadline_miss(self, task_name: str, at_us: int) -> None:
+        """A task missed its deadline (skipped release or late completion)."""
+
+
+#: Module-level null sink shared by every scheduler instance.
+NULL_SCHEDULER_OBSERVER = NullSchedulerObserver()
+
+
 class RTOSScheduler:
     """A single-core fixed-priority preemptive scheduler."""
 
@@ -64,6 +88,10 @@ class RTOSScheduler:
         self._started = False
         self._in_dispatch = False
         self._dispatch_again = False
+        # Telemetry: dispatch-round counter (plain int add, maintained
+        # unconditionally) and the pluggable segment/deadline observer.
+        self.dispatch_rounds = 0
+        self.observer = NULL_SCHEDULER_OBSERVER
         # Recycled kernel handle for compute-segment completions.  Only one
         # compute segment runs at a time, so a single spare suffices; it is
         # refilled on the fire path only (a preempted segment's handle is
@@ -180,6 +208,21 @@ class RTOSScheduler:
         busy = sum(task.stats.cpu_time_us for task in self.tasks)
         return busy / elapsed
 
+    def scheduler_stats(self) -> dict:
+        """A telemetry snapshot of scheduler-wide lifetime counters.
+
+        Like :meth:`Simulator.counters` this is a pull surface: the counters
+        are maintained by bookkeeping the scheduler already does, so reading
+        them after a run costs nothing during the run.
+        """
+        return {
+            "scheduler_dispatch_rounds": self.dispatch_rounds,
+            "scheduler_preemptions": sum(t.stats.preemptions for t in self.tasks),
+            "scheduler_activations": sum(t.stats.activations for t in self.tasks),
+            "scheduler_completions": sum(t.stats.completions for t in self.tasks),
+            "scheduler_deadline_misses": sum(t.stats.deadline_misses for t in self.tasks),
+        }
+
     # ------------------------------------------------------------------
     # Releases
     # ------------------------------------------------------------------
@@ -229,6 +272,7 @@ class RTOSScheduler:
             # a late completion did — so no miss is ever double-counted
             # (pinned by TestDeadlineMissAccounting).
             task.stats.deadline_misses += 1
+            self.observer.deadline_miss(task.name, self.simulator._clock._now_us)
             return
         sequence = self._job_sequence
         self._job_sequence = sequence + 1
@@ -300,6 +344,7 @@ class RTOSScheduler:
         try:
             ready = self._ready
             while True:
+                self.dispatch_rounds += 1
                 self._dispatch_again = False
                 running = self._running
                 if running is None:
@@ -465,6 +510,7 @@ class RTOSScheduler:
         now = self.simulator._clock._now_us
         started = job.segment_started_at_us
         task.stats.cpu_time_us += now - (started if started is not None else now)
+        self.observer.segment(task.name, started if started is not None else now, now, False)
         job.pending_compute_us = None
         job.segment_started_at_us = None
         job.completion_handle = None
@@ -484,6 +530,7 @@ class RTOSScheduler:
         elapsed = now - (started if started is not None else now)
         task.stats.cpu_time_us += elapsed
         task.stats.preemptions += 1
+        self.observer.segment(task.name, started if started is not None else now, now, True)
         job.pending_compute_us = max(0, (job.pending_compute_us or 0) - elapsed)
         job.segment_started_at_us = None
         self._running = None
@@ -575,6 +622,7 @@ class RTOSScheduler:
         stats.response_times_us.append(response)
         if task.deadline_us is not None and response > task.deadline_us:
             stats.deadline_misses += 1
+            self.observer.deadline_miss(task.name, self.simulator._clock._now_us)
         task.state = task.finish_state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from ..campaign.results import CampaignResult, RunRecord
 from ..campaign.spec import RunSpec
+from ..obs import REGISTRY
 from .keys import campaign_key, run_coordinate, run_key
 
 #: Bumped when the table layout changes incompatibly.
@@ -57,6 +58,7 @@ CREATE TABLE IF NOT EXISTS runs (
     case_seed         INTEGER NOT NULL,
     fault_plan        TEXT,
     mutant            TEXT,
+    system            TEXT,
     passed            INTEGER NOT NULL,
     violations        INTEGER NOT NULL,
     timeouts          INTEGER NOT NULL,
@@ -76,6 +78,18 @@ CREATE TABLE IF NOT EXISTS campaigns (
     created_at    TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_campaigns_name ON campaigns (name);
+CREATE TABLE IF NOT EXISTS run_timings (
+    record_id TEXT PRIMARY KEY,
+    elapsed_s REAL NOT NULL,
+    codegen_s REAL,
+    execute_s REAL,
+    analyze_s REAL
+);
+CREATE TABLE IF NOT EXISTS campaign_progress (
+    name          TEXT PRIMARY KEY,
+    snapshot_json TEXT NOT NULL,
+    updated_at    TEXT NOT NULL
+);
 """
 
 
@@ -136,6 +150,17 @@ class RunStore:
                 "INSERT OR IGNORE INTO store_meta (key, value) VALUES ('generation', '0')"
             )
             self._connection.executescript(_SCHEMA)
+            # Additive migration, same schema version: stores written before
+            # the system column / timing tables gain them in place.  Pre-
+            # migration coordinate keys are untouched (default-system specs
+            # omit the field from their key by design), so old and new rows
+            # keep addressing the same runs.
+            columns = {
+                row["name"]
+                for row in self._connection.execute("PRAGMA table_info(runs)")
+            }
+            if "system" not in columns:
+                self._connection.execute("ALTER TABLE runs ADD COLUMN system TEXT")
 
     def _bump_generation(self) -> None:
         """Advance the write generation (callers hold the lock + transaction)."""
@@ -183,6 +208,7 @@ class RunStore:
         """Persist a batch of records in one transaction; returns record ids."""
         rows = []
         record_ids = []
+        timing_rows = []
         created = _utc_now()
         for record in records:
             spec = record.spec
@@ -201,6 +227,7 @@ class RunStore:
                     spec.case_seed,
                     None if spec.faults is None else spec.faults.name,
                     None if spec.mutant is None else spec.mutant.mutant_id,
+                    spec.system,
                     1 if record.passed else 0,
                     record.violation_count,
                     record.timeout_count,
@@ -210,19 +237,44 @@ class RunStore:
                     created,
                 )
             )
+            phases = record.phase_seconds
+            if record.elapsed_s or phases:
+                phases = phases or {}
+                timing_rows.append(
+                    (
+                        record_id,
+                        record.elapsed_s,
+                        phases.get("codegen"),
+                        phases.get("execute"),
+                        phases.get("analyze"),
+                    )
+                )
         with self._lock, self._connection:
             before = self._connection.total_changes
             self._connection.executemany(
                 "INSERT OR IGNORE INTO runs (record_id, coord_key, model, "
                 "model_fingerprint, scheme, case_name, samples, sut_seed, case_seed, "
-                "fault_plan, mutant, passed, violations, timeouts, spec_json, r_json, "
-                "m_json, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "fault_plan, mutant, system, passed, violations, timeouts, spec_json, "
+                "r_json, m_json, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 rows,
             )
+            inserted = self._connection.total_changes - before
             # Idempotent re-puts leave the generation (and every ETag) alone.
-            if self._connection.total_changes != before:
+            if inserted:
                 self._bump_generation()
+            # Timing rows are a non-canonical side channel: first write wins,
+            # and they never bump the generation (they cannot change a
+            # verdict, so they must not churn every cached response).
+            if timing_rows:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO run_timings "
+                    "(record_id, elapsed_s, codegen_s, execute_s, analyze_s) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    timing_rows,
+                )
+        if inserted:
+            REGISTRY.counter("store_inserts_total").inc(inserted)
         return record_ids
 
     def _record_from_row(self, row: sqlite3.Row, *, index: int = 0) -> RunRecord:
@@ -259,6 +311,9 @@ class RunStore:
                 "ORDER BY rowid DESC LIMIT 1",
                 (run_key(spec),),
             ).fetchone()
+        REGISTRY.counter(
+            "store_lookups_total", labels={"outcome": "hit" if row else "miss"}
+        ).inc()
         if row is None:
             return None
         return RunRecord(
@@ -290,29 +345,59 @@ class RunStore:
         scheme: Optional[int] = None,
         case: Optional[str] = None,
         model: Optional[str] = None,
+        system: Optional[str] = None,
         limit: Optional[int] = None,
+        offset: int = 0,
+        order: str = "newest",
     ) -> List[Dict[str, Any]]:
-        """Compact summary rows of the stored runs (newest first)."""
+        """Compact summary rows of the stored runs.
+
+        ``order`` is ``"newest"`` (insertion order, newest first — the
+        default) or ``"slowest"`` (worker wall-clock, slowest first; rows
+        without timings sort last).  Timing columns ride along when the run
+        has a persisted timing profile, so ``repro store runs --slowest``
+        answers which coordinates are slow and in which phase.
+        """
+        if order not in ("newest", "slowest"):
+            raise ValueError(f"unknown run ordering {order!r}")
         clauses = []
         parameters: List[Any] = []
-        for column, value in (("scheme", scheme), ("case_name", case), ("model", model)):
+        for column, value in (
+            ("scheme", scheme),
+            ("case_name", case),
+            ("model", model),
+            ("system", system),
+        ):
             if value is not None:
-                clauses.append(f"{column} = ?")
+                clauses.append(f"runs.{column} = ?")
                 parameters.append(value)
         where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
-        suffix = " ORDER BY rowid DESC"
-        if limit is not None:
+        if order == "slowest":
+            suffix = " ORDER BY run_timings.elapsed_s IS NULL, run_timings.elapsed_s DESC, runs.rowid DESC"
+        else:
+            suffix = " ORDER BY runs.rowid DESC"
+        if limit is not None or offset:
+            # SQLite requires LIMIT before OFFSET; -1 means "no limit".
             suffix += " LIMIT ?"
-            parameters.append(limit)
+            parameters.append(-1 if limit is None else limit)
+            if offset:
+                suffix += " OFFSET ?"
+                parameters.append(offset)
         with self._lock:
             rows = self._connection.execute(
-                "SELECT record_id, coord_key, model, model_fingerprint, scheme, "
-                "case_name, samples, sut_seed, case_seed, fault_plan, mutant, passed, "
-                f"violations, timeouts, created_at FROM runs{where}{suffix}",
+                "SELECT runs.record_id, runs.coord_key, runs.model, "
+                "runs.model_fingerprint, runs.scheme, runs.case_name, runs.samples, "
+                "runs.sut_seed, runs.case_seed, runs.fault_plan, runs.mutant, "
+                "runs.system, runs.passed, runs.violations, runs.timeouts, "
+                "runs.created_at, run_timings.elapsed_s, run_timings.codegen_s, "
+                "run_timings.execute_s, run_timings.analyze_s "
+                "FROM runs LEFT JOIN run_timings "
+                f"ON run_timings.record_id = runs.record_id{where}{suffix}",
                 parameters,
             ).fetchall()
-        return [
-            {
+        summaries = []
+        for row in rows:
+            summary = {
                 "key": row["record_id"],
                 "coordinate": row["coord_key"],
                 "model": row["model"],
@@ -324,13 +409,47 @@ class RunStore:
                 "case_seed": row["case_seed"],
                 "fault_plan": row["fault_plan"],
                 "mutant": row["mutant"],
+                "system": row["system"],
                 "passed": bool(row["passed"]),
                 "violations": row["violations"],
                 "timeouts": row["timeouts"],
                 "created_at": row["created_at"],
             }
-            for row in rows
-        ]
+            if row["elapsed_s"] is not None:
+                summary["timing"] = {
+                    "elapsed_s": row["elapsed_s"],
+                    "codegen_s": row["codegen_s"],
+                    "execute_s": row["execute_s"],
+                    "analyze_s": row["analyze_s"],
+                }
+            summaries.append(summary)
+        return summaries
+
+    def run_count(
+        self,
+        *,
+        scheme: Optional[int] = None,
+        case: Optional[str] = None,
+        model: Optional[str] = None,
+        system: Optional[str] = None,
+    ) -> int:
+        """How many stored runs match the filters (drives /runs pagination)."""
+        clauses = []
+        parameters: List[Any] = []
+        for column, value in (
+            ("scheme", scheme),
+            ("case_name", case),
+            ("model", model),
+            ("system", system),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                parameters.append(value)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        with self._lock:
+            return self._connection.execute(
+                f"SELECT COUNT(*) AS n FROM runs{where}", parameters
+            ).fetchone()["n"]
 
     # ------------------------------------------------------------------
     # Campaign snapshots
@@ -365,6 +484,7 @@ class RunStore:
             )
             if self._connection.total_changes != before:
                 self._bump_generation()
+                REGISTRY.counter("store_snapshots_total").inc()
         return campaign_id
 
     def load_campaign(self, campaign_id: str) -> CampaignResult:
@@ -424,6 +544,41 @@ class RunStore:
         if resolved is None:
             raise StoreError(f"store {self.path} cannot resolve campaign reference {reference!r}")
         return resolved
+
+    # ------------------------------------------------------------------
+    # Live campaign progress
+    # ------------------------------------------------------------------
+    def save_progress(self, snapshot: Dict[str, Any]) -> None:
+        """Persist a live progress snapshot, keyed by campaign name.
+
+        Deliberately does **not** bump the write generation: progress is an
+        advisory side channel written many times per campaign, and churning
+        every cached response (and every client's ETag) once per shard would
+        defeat the serving layer's 304 path.  ``/progress`` responses bypass
+        the generation-keyed cache for the same reason.
+        """
+        name = snapshot["campaign"]
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO campaign_progress "
+                "(name, snapshot_json, updated_at) VALUES (?, ?, ?)",
+                (name, json.dumps(snapshot, sort_keys=True), _utc_now()),
+            )
+        REGISTRY.counter("store_progress_writes_total").inc()
+
+    def load_progress(self, name: str) -> Optional[Dict[str, Any]]:
+        """The latest progress snapshot for campaign ``name`` (with its
+        ``updated_at`` write stamp), or ``None``."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT snapshot_json, updated_at FROM campaign_progress WHERE name = ?",
+                (name,),
+            ).fetchone()
+        if row is None:
+            return None
+        snapshot = json.loads(row["snapshot_json"])
+        snapshot["updated_at"] = row["updated_at"]
+        return snapshot
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,124 @@
+"""Span tracing: phases, lanes, Chrome-trace rendering, self-time accounting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import SpanTracer, render_self_time_table
+from repro.obs.spans import FRAMEWORK_PID, SIMULATION_PID
+
+
+class TestFrameworkLane:
+    def test_phase_records_injected_monotonic_interval(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        with tracer.phase("execute"):
+            fake_clock.advance(0.25)
+        (span,) = tracer.spans
+        assert span.name == "execute"
+        assert span.pid == FRAMEWORK_PID
+        assert span.ts_us == 0.0
+        assert span.dur_us == 250_000.0
+
+    def test_phase_args_land_on_the_event(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        with tracer.phase("codegen", args={"scheme": 2}):
+            fake_clock.advance(0.01)
+        assert tracer.spans[0].to_event()["args"] == {"scheme": 2}
+
+    def test_begin_end_matches_the_context_manager(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        started = tracer.begin()
+        fake_clock.advance(1.0)
+        span = tracer.end("leg", started)
+        assert span.dur_us == 1_000_000.0
+
+
+class TestSimulationLane:
+    def test_sim_span_and_instant_use_caller_timestamps(self):
+        tracer = SpanTracer(lambda: 0.0)
+        tracer.sim_span("control", 4000, 4600, tid=1)
+        tracer.sim_instant("deadline miss", 9000, tid=1)
+        events = tracer.to_chrome_trace()["traceEvents"]
+        span = next(e for e in events if e["name"] == "control")
+        assert (span["pid"], span["ts"], span["dur"]) == (SIMULATION_PID, 4000, 600)
+        miss = next(e for e in events if e["name"] == "deadline miss")
+        assert (miss["ph"], miss["ts"]) == ("i", 9000)
+
+
+class TestChromeTrace:
+    def test_document_shape_and_lane_metadata(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        with tracer.phase("execute"):
+            fake_clock.advance(0.1)
+        tracer.sim_span("task", 0, 100, tid=3)
+        tracer.name_thread(SIMULATION_PID, 3, "controller")
+        document = tracer.to_chrome_trace()
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        process_names = {
+            e["pid"]: e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert process_names == {
+            FRAMEWORK_PID: "framework (wall clock)",
+            SIMULATION_PID: "simulation (virtual time)",
+        }
+        thread_names = [e for e in events if e["name"] == "thread_name"]
+        assert {"name": "controller"} in [e["args"] for e in thread_names]
+
+    def test_metadata_only_for_used_lanes(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        with tracer.phase("only framework"):
+            fake_clock.advance(0.1)
+        events = tracer.to_chrome_trace()["traceEvents"]
+        pids = {e["pid"] for e in events if e["name"] == "process_name"}
+        assert pids == {FRAMEWORK_PID}
+
+    def test_write_timeline_round_trips(self, fake_clock, tmp_path):
+        tracer = SpanTracer(fake_clock)
+        with tracer.phase("execute"):
+            fake_clock.advance(0.1)
+        path = tmp_path / "timeline.json"
+        tracer.write_timeline(path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document == tracer.to_chrome_trace()
+
+
+class TestSelfTimes:
+    def test_nested_children_are_subtracted_from_the_parent(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        # Powers of two keep the fake clock's floats exactly representable.
+        with tracer.phase("execute"):
+            fake_clock.advance(0.25)
+            with tracer.phase("build"):
+                fake_clock.advance(0.5)
+            fake_clock.advance(0.25)
+        table = tracer.self_times()
+        assert table["execute"]["total_us"] == 1_000_000.0
+        assert table["execute"]["self_us"] == 500_000.0
+        assert table["build"]["self_us"] == 500_000.0
+
+    def test_sibling_spans_accumulate_per_name(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        for _ in range(3):
+            with tracer.phase("build"):
+                fake_clock.advance(0.25)
+        row = tracer.self_times()["build"]
+        assert row["count"] == 3
+        assert row["total_us"] == 750_000.0
+
+    def test_simulation_spans_never_enter_the_table(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        tracer.sim_span("task", 0, 100)
+        assert tracer.self_times() == {}
+
+    def test_rendered_table_sorts_by_self_time(self, fake_clock):
+        tracer = SpanTracer(fake_clock)
+        with tracer.phase("fast"):
+            fake_clock.advance(0.01)
+        with tracer.phase("slow"):
+            fake_clock.advance(1.0)
+        text = render_self_time_table(tracer.self_times())
+        lines = text.splitlines()
+        assert lines[0].startswith("phase")
+        assert lines[2].startswith("slow")
+        assert lines[3].startswith("fast")

@@ -1,0 +1,160 @@
+"""Store-side observability: timing rows, progress snapshots, pagination, migration."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.store import RunStore
+
+#: The runs-table layout as it shipped before the observability PR — no
+#: ``system`` column, no ``run_timings`` / ``campaign_progress`` tables.
+_OLD_SCHEMA = """
+CREATE TABLE store_meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+INSERT INTO store_meta VALUES ('schema_version', '1');
+CREATE TABLE runs (
+    record_id         TEXT PRIMARY KEY,
+    coord_key         TEXT NOT NULL,
+    model             TEXT NOT NULL,
+    model_fingerprint TEXT NOT NULL,
+    scheme            INTEGER NOT NULL,
+    case_name         TEXT NOT NULL,
+    samples           INTEGER NOT NULL,
+    sut_seed          INTEGER NOT NULL,
+    case_seed         INTEGER NOT NULL,
+    fault_plan        TEXT,
+    mutant            TEXT,
+    passed            INTEGER NOT NULL,
+    violations        INTEGER NOT NULL,
+    timeouts          INTEGER NOT NULL,
+    spec_json         TEXT NOT NULL,
+    r_json            TEXT NOT NULL,
+    m_json            TEXT,
+    created_at        TEXT NOT NULL
+);
+CREATE INDEX idx_runs_coord ON runs (coord_key);
+CREATE INDEX idx_runs_shape ON runs (scheme, case_name, model);
+CREATE TABLE campaigns (
+    campaign_id   TEXT PRIMARY KEY,
+    name          TEXT NOT NULL,
+    size          INTEGER NOT NULL,
+    spec_json     TEXT NOT NULL,
+    run_keys_json TEXT NOT NULL,
+    created_at    TEXT NOT NULL
+);
+CREATE INDEX idx_campaigns_name ON campaigns (name);
+"""
+
+
+class TestTimingRows:
+    def test_run_rows_carry_the_timing_profile(self, seeded_store):
+        rows = seeded_store.run_rows()
+        assert len(rows) == 3
+        for row in rows:
+            assert row["system"] == "gpca"
+            timing = row["timing"]
+            assert timing["elapsed_s"] > 0
+            for phase in ("codegen_s", "execute_s", "analyze_s"):
+                assert timing[phase] >= 0
+
+    def test_slowest_order_sorts_by_wall_clock(self, seeded_store):
+        rows = seeded_store.run_rows(order="slowest")
+        elapsed = [row["timing"]["elapsed_s"] for row in rows]
+        assert elapsed == sorted(elapsed, reverse=True)
+
+    def test_unknown_order_is_rejected(self, seeded_store):
+        with pytest.raises(ValueError):
+            seeded_store.run_rows(order="fastest")
+
+    def test_limit_offset_paginate_in_order(self, seeded_store):
+        everything = seeded_store.run_rows()
+        page_one = seeded_store.run_rows(limit=2)
+        page_two = seeded_store.run_rows(limit=2, offset=2)
+        assert [r["key"] for r in page_one + page_two] == [r["key"] for r in everything]
+        # offset without limit still works (LIMIT -1 path).
+        assert seeded_store.run_rows(offset=1) == everything[1:]
+
+    def test_run_count_honours_filters(self, seeded_store):
+        assert seeded_store.run_count() == 3
+        assert seeded_store.run_count(system="gpca") == 3
+        assert seeded_store.run_count(system="pacemaker") == 0
+        assert seeded_store.run_count(scheme=2) == 1
+
+    def test_timing_rows_do_not_move_the_state_token(self, seeded_store, table1_result):
+        token = seeded_store.state_token()
+        # Re-saving identical records (timings included) must not invalidate
+        # every dashboard's ETags.
+        seeded_store.put_records(table1_result.records)
+        assert seeded_store.state_token() == token
+
+
+class TestProgressPersistence:
+    SNAPSHOT = {
+        "campaign": "table1",
+        "total_runs": 3,
+        "workers": 1,
+        "started": 3,
+        "completed": 2,
+        "cached": 0,
+        "failed": 0,
+        "remaining": 1,
+        "finished": False,
+        "elapsed_s": 1.5,
+        "rate_runs_per_s": 1.333,
+        "eta_s": 0.75,
+    }
+
+    def test_round_trip_adds_updated_at(self, seeded_store):
+        seeded_store.save_progress(self.SNAPSHOT)
+        loaded = seeded_store.load_progress("table1")
+        assert loaded.pop("updated_at")
+        assert loaded == self.SNAPSHOT
+
+    def test_latest_write_wins(self, seeded_store):
+        seeded_store.save_progress(self.SNAPSHOT)
+        seeded_store.save_progress({**self.SNAPSHOT, "completed": 3, "finished": True})
+        assert seeded_store.load_progress("table1")["finished"] is True
+
+    def test_missing_campaign_loads_none(self, seeded_store):
+        assert seeded_store.load_progress("never-ran") is None
+
+    def test_progress_writes_do_not_move_the_state_token(self, seeded_store):
+        token = seeded_store.state_token()
+        seeded_store.save_progress(self.SNAPSHOT)
+        assert seeded_store.state_token() == token
+
+
+class TestSchemaMigration:
+    def test_pre_observability_store_is_upgraded_in_place(self, tmp_path, table1_result):
+        path = tmp_path / "old.db"
+        connection = sqlite3.connect(path)
+        connection.executescript(_OLD_SCHEMA)
+        connection.close()
+
+        store = RunStore(path)
+        try:
+            # The system column and the two new tables exist now.
+            store.put_records(table1_result.records)
+            rows = store.run_rows(order="slowest")
+            assert {row["system"] for row in rows} == {"gpca"}
+            assert all("timing" in row for row in rows)
+            store.save_progress(TestProgressPersistence.SNAPSHOT)
+            assert store.load_progress("table1")["completed"] == 2
+        finally:
+            store.close()
+
+    def test_reopening_a_migrated_store_is_idempotent(self, tmp_path, table1_result):
+        path = tmp_path / "old.db"
+        connection = sqlite3.connect(path)
+        connection.executescript(_OLD_SCHEMA)
+        connection.close()
+        for _ in range(2):
+            store = RunStore(path)
+            store.put_records(table1_result.records)
+            store.close()
+        store = RunStore(path)
+        try:
+            assert store.run_count() == 3
+        finally:
+            store.close()

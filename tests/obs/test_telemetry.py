@@ -1,0 +1,137 @@
+"""The telemetry facade, the null sink, and the campaign-progress accumulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    CampaignProgress,
+    MetricsRegistry,
+    Telemetry,
+)
+
+
+class TestTelemetryFacade:
+    @pytest.fixture
+    def registry(self):
+        return MetricsRegistry()
+
+    def test_count_gauge_observe_land_in_the_registry(self, registry):
+        telemetry = Telemetry(registry)
+        telemetry.count("runs_total", 2)
+        telemetry.count("http_total", status="200")
+        telemetry.gauge("in_flight", 4.0)
+        telemetry.observe("latency", 0.2)
+        assert registry.counter_value("runs_total") == 2
+        assert registry.counter_value("http_total", {"status": "200"}) == 1
+        assert registry.gauge("in_flight").value == 4.0
+        assert registry.histogram("latency").count == 1
+
+    def test_pull_counters_folds_engine_snapshots(self, registry):
+        telemetry = Telemetry(registry)
+        telemetry.pull_counters({"kernel_events": 100, "idle": 0}, prefix="sim_")
+        assert registry.counter_value("sim_kernel_events") == 100
+        assert registry.counter_value("sim_idle") == 0
+
+    def test_phase_without_tracer_is_the_shared_null_context(self, registry):
+        telemetry = Telemetry(registry)
+        assert telemetry.tracer is None
+        # One process-wide singleton: no per-call allocation on the disabled path.
+        assert telemetry.phase("a") is telemetry.phase("b")
+        with telemetry.phase("execute"):
+            pass
+
+    def test_spans_mode_records_phases(self, registry, fake_clock):
+        telemetry = Telemetry(registry, spans=True, monotonic=fake_clock)
+        with telemetry.phase("execute", scheme=2):
+            fake_clock.advance(0.5)
+        (span,) = telemetry.tracer.spans
+        assert span.name == "execute"
+        assert span.args == {"scheme": 2}
+        assert span.dur_us == 500_000.0
+
+
+class TestNullSink:
+    def test_flags_and_noops(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert Telemetry(MetricsRegistry()).enabled is True
+        NULL_TELEMETRY.count("anything", 5)
+        NULL_TELEMETRY.gauge("anything", 1.0)
+        NULL_TELEMETRY.observe("anything", 1.0)
+        NULL_TELEMETRY.pull_counters({"a": 1})
+
+    def test_phase_returns_one_shared_context(self):
+        first = NULL_TELEMETRY.phase("a")
+        second = NULL_TELEMETRY.phase("b", key="value")
+        assert first is second
+        with first:
+            pass
+
+    def test_null_sink_has_no_per_instance_state(self):
+        assert NULL_TELEMETRY.__slots__ == ()
+
+
+class TestCampaignProgress:
+    def test_counts_and_remaining(self, fake_clock):
+        progress = CampaignProgress("table1", 10, monotonic=fake_clock, workers=2)
+        progress.record_cached(3)
+        progress.record_started(7)
+        progress.record_completed(4)
+        progress.record_failed()
+        assert progress.done == 8
+        assert progress.remaining == 2
+
+    def test_rate_excludes_cached_runs(self, fake_clock):
+        progress = CampaignProgress("grid", 10, monotonic=fake_clock)
+        progress.record_cached(5)
+        progress.record_completed(4)
+        fake_clock.advance(2.0)
+        assert progress.rate_runs_per_s() == pytest.approx(2.0)
+
+    def test_eta_from_the_execution_rate(self, fake_clock):
+        progress = CampaignProgress("grid", 10, monotonic=fake_clock)
+        progress.record_completed(4)
+        fake_clock.advance(2.0)
+        # 6 remaining at 2 runs/s.
+        assert progress.eta_s() == pytest.approx(3.0)
+
+    def test_eta_is_none_before_any_signal(self, fake_clock):
+        progress = CampaignProgress("grid", 10, monotonic=fake_clock)
+        fake_clock.advance(1.0)
+        assert progress.eta_s() is None
+
+    def test_eta_is_zero_when_done(self, fake_clock):
+        progress = CampaignProgress("grid", 2, monotonic=fake_clock)
+        progress.record_completed(2)
+        fake_clock.advance(1.0)
+        assert progress.eta_s() == 0.0
+
+    def test_finish_freezes_elapsed_time(self, fake_clock):
+        progress = CampaignProgress("grid", 1, monotonic=fake_clock)
+        progress.record_completed()
+        fake_clock.advance(2.0)
+        progress.finish()
+        fake_clock.advance(100.0)
+        assert progress.elapsed_s() == pytest.approx(2.0)
+
+    def test_snapshot_is_json_shaped_and_complete(self, fake_clock):
+        progress = CampaignProgress("table1", 4, monotonic=fake_clock, workers=3)
+        progress.record_started(4)
+        progress.record_completed(2)
+        fake_clock.advance(1.0)
+        snapshot = progress.snapshot()
+        assert snapshot == {
+            "campaign": "table1",
+            "total_runs": 4,
+            "workers": 3,
+            "started": 4,
+            "completed": 2,
+            "cached": 0,
+            "failed": 0,
+            "remaining": 2,
+            "finished": False,
+            "elapsed_s": 1.0,
+            "rate_runs_per_s": 2.0,
+            "eta_s": 1.0,
+        }
